@@ -1,0 +1,203 @@
+// Benchmarks that regenerate every table and figure of the paper's
+// evaluation section.  Each benchmark prints its reproduced rows once
+// (captured in bench_output.txt by the top-level run script) and then
+// times the underlying experiment.
+//
+// The design scale defaults to a small fraction of the paper's full
+// testcase sizes so the whole suite runs in minutes; set
+// REPRO_BENCH_SCALE=1 to benchmark the full Table I designs.
+package repro_test
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+
+	"repro/internal/expt"
+)
+
+func benchScale() float64 {
+	if v := os.Getenv("REPRO_BENCH_SCALE"); v != "" {
+		if f, err := strconv.ParseFloat(v, 64); err == nil && f > 0 && f <= 1 {
+			return f
+		}
+	}
+	return 0.06
+}
+
+var (
+	ctxOnce sync.Once
+	ctx     *expt.Context
+)
+
+func harness() *expt.Context {
+	ctxOnce.Do(func() {
+		ctx = expt.NewContext(benchScale(), 1000)
+	})
+	return ctx
+}
+
+var printed sync.Map
+
+// printOnce emits a table the first time its benchmark runs.
+func printOnce(key string, f func() (*expt.Table, error), b *testing.B) {
+	if _, loaded := printed.LoadOrStore(key, true); loaded {
+		return
+	}
+	t, err := f()
+	if err != nil {
+		b.Fatalf("%s: %v", key, err)
+	}
+	fmt.Println(t.Format())
+}
+
+func BenchmarkFig2DoseSensitivity(b *testing.B) {
+	printOnce("fig2", func() (*expt.Table, error) { return expt.Fig2(), nil }, b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = expt.Fig2()
+	}
+}
+
+func BenchmarkFig3DelayVsLength(b *testing.B) {
+	printOnce("fig3", func() (*expt.Table, error) { return expt.Fig3(), nil }, b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = expt.Fig3()
+	}
+}
+
+func BenchmarkFig4DelayVsWidth(b *testing.B) {
+	printOnce("fig4", func() (*expt.Table, error) { return expt.Fig4(), nil }, b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = expt.Fig4()
+	}
+}
+
+func BenchmarkFig5LeakageVsLength(b *testing.B) {
+	printOnce("fig5", func() (*expt.Table, error) { return expt.Fig5(), nil }, b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = expt.Fig5()
+	}
+}
+
+func BenchmarkFig6LeakageVsWidth(b *testing.B) {
+	printOnce("fig6", func() (*expt.Table, error) { return expt.Fig6(), nil }, b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = expt.Fig6()
+	}
+}
+
+func BenchmarkTableIDesigns(b *testing.B) {
+	c := harness()
+	printOnce("tableI", c.TableI, b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.TableI(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTableIIDoseSweepAES65(b *testing.B) {
+	c := harness()
+	printOnce("tableII", c.TableII, b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.DoseSweep("AES-65", expt.SweepDoses()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTableIIIDoseSweepAES90(b *testing.B) {
+	c := harness()
+	printOnce("tableIII", c.TableIII, b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.DoseSweep("AES-90", expt.SweepDoses()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTableIVDMoptPoly(b *testing.B) {
+	c := harness()
+	printOnce("tableIV", func() (*expt.Table, error) {
+		t, _, err := c.TableIV()
+		return t, err
+	}, b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Time one representative optimization (AES-65, finest grid, QP).
+		if _, err := c.RunDM("AES-65", 5, false, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTableVQCPBothLayers(b *testing.B) {
+	c := harness()
+	printOnce("tableV", func() (*expt.Table, error) {
+		t, _, err := c.TableV()
+		return t, err
+	}, b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.RunDM("AES-65", 5, true, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTableVIQPBothLayers(b *testing.B) {
+	c := harness()
+	printOnce("tableVI", func() (*expt.Table, error) {
+		t, _, err := c.TableVI()
+		return t, err
+	}, b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.RunDM("AES-65", 5, false, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTableVIICriticality(b *testing.B) {
+	c := harness()
+	printOnce("tableVII", c.TableVII, b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := c.Criticality("AES-65"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTableVIIIDosePl(b *testing.B) {
+	c := harness()
+	printOnce("tableVIII", c.TableVIII, b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.TableVIII(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig10SlackProfiles(b *testing.B) {
+	c := harness()
+	printOnce("fig10", func() (*expt.Table, error) { return c.Fig10("AES-65", 16) }, b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Fig10Profiles("AES-65"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+// Command dmopt runs the design-aware dose-map optimization on one
+// testcase and prints the golden signoff numbers, optionally followed by
+// the dosePl cell-swapping rounds.
+//
+// Usage:
+//
+//	dmopt [-design AES-65] [-scale 0.15] [-grid 5] [-qcp] [-both]
+//	      [-delta 2] [-dosepl] [-xi 0]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	design := flag.String("design", "AES-65", "testcase: AES-65, JPEG-65, AES-90, JPEG-90")
+	scale := flag.Float64("scale", 0.15, "design scale factor in (0,1]")
+	grid := flag.Float64("grid", 5, "dose-map grid size G in µm")
+	qcp := flag.Bool("qcp", false, "minimize clock period under leakage budget (default: minimize leakage under timing)")
+	both := flag.Bool("both", false, "modulate both poly and active layers (Lgate + Wgate)")
+	delta := flag.Float64("delta", 2, "dose smoothness bound δ in percent")
+	xi := flag.Float64("xi", 0, "QCP leakage budget ξ in nW (Δleakage allowed)")
+	dosepl := flag.Bool("dosepl", false, "run dosePl cell-swapping rounds after DMopt")
+	flag.Parse()
+
+	var preset repro.Preset
+	found := false
+	for _, p := range repro.Presets() {
+		if p.Name == *design {
+			preset = p
+			found = true
+		}
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "dmopt: unknown design %q\n", *design)
+		os.Exit(1)
+	}
+	if *scale < 1 {
+		preset = preset.Scaled(*scale)
+	}
+
+	start := time.Now()
+	d, err := repro.Generate(preset)
+	check(err)
+	fmt.Printf("generated %s: %d cells in %v\n", preset.Name, d.Circ.NumCells(), time.Since(start).Round(time.Millisecond))
+
+	opt := repro.DefaultOptions()
+	opt.G = *grid
+	opt.Delta = *delta
+	opt.BothLayers = *both
+	opt.XiNW = *xi
+
+	mode := repro.ModeQPLeakage
+	if *qcp {
+		mode = repro.ModeQCPTiming
+	}
+	cfg := repro.FlowConfig{Opt: opt, Mode: mode, RunDosePl: *dosepl, DosePl: repro.DefaultDosePlOptions()}
+	out, err := repro.RunFlow(d, cfg)
+	check(err)
+
+	dm := out.DM
+	fmt.Printf("\n%s, grid %.1f µm, δ=%.1f, layers=%s\n", mode, *grid, *delta, layers(*both))
+	fmt.Printf("  nominal : MCT %8.1f ps   leakage %9.1f µW\n", dm.Nominal.MCTps, dm.Nominal.LeakUW)
+	fmt.Printf("  DMopt   : MCT %8.1f ps   leakage %9.1f µW   (%+.2f%% / %+.2f%%)\n",
+		dm.Golden.MCTps, dm.Golden.LeakUW,
+		100*(dm.Golden.MCTps/dm.Nominal.MCTps-1), 100*(dm.Golden.LeakUW/dm.Nominal.LeakUW-1))
+	fmt.Printf("  solver  : %s, probes=%d, runtime %v\n", dm.Status, dm.Probes, dm.Runtime.Round(time.Millisecond))
+	st := dm.Layers.Poly.Stats()
+	fmt.Printf("  dose map: min %.2f%%  max %.2f%%  mean %.2f%%  max neighbor Δ %.3f%%\n",
+		st.Min, st.Max, st.Mean, dm.Layers.Poly.MaxNeighborDiff())
+	if out.DosePl != nil {
+		dp := out.DosePl
+		fmt.Printf("  dosePl  : MCT %8.1f ps   leakage %9.1f µW   (%d swaps accepted over %d rounds)\n",
+			dp.After.MCTps, dp.After.LeakUW, dp.SwapsAccepted, len(dp.Rounds))
+	}
+}
+
+func layers(both bool) string {
+	if both {
+		return "poly+active"
+	}
+	return "poly"
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dmopt: %v\n", err)
+		os.Exit(1)
+	}
+}

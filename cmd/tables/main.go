@@ -1,0 +1,96 @@
+// Command tables regenerates the paper's evaluation tables and figures
+// on the synthetic testcases.
+//
+// Usage:
+//
+//	tables [-scale 0.15] [-k 2000] [-md] [-which all|I,II,III,IV,V,VI,VII,VIII,fig2,fig3,fig4,fig5,fig6,fig10]
+//
+// -scale 1 reproduces the full Table I design sizes (minutes of CPU);
+// smaller scales shrink the designs proportionally for quick runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/expt"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.15, "design scale factor in (0,1]; 1 = full Table I sizes")
+	k := flag.Int("k", 2000, "top-path count for path-based experiments (paper: 10000)")
+	md := flag.Bool("md", false, "emit GitHub-flavored markdown instead of aligned text")
+	which := flag.String("which", "all", "comma-separated experiment list, or 'all'")
+	fig10Design := flag.String("fig10", "AES-65", "design for the Fig. 10 slack profiles")
+	flag.Parse()
+
+	c := expt.NewContext(*scale, *k)
+	sel := map[string]bool{}
+	for _, w := range strings.Split(strings.ToLower(*which), ",") {
+		sel[strings.TrimSpace(w)] = true
+	}
+	want := func(name string) bool { return sel["all"] || sel[strings.ToLower(name)] }
+
+	emit := func(t *expt.Table, err error) {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tables: %v\n", err)
+			os.Exit(1)
+		}
+		if *md {
+			fmt.Println(t.Markdown())
+		} else {
+			fmt.Println(t.Format())
+		}
+	}
+
+	start := time.Now()
+	if want("fig2") {
+		emit(expt.Fig2(), nil)
+	}
+	if want("fig3") {
+		emit(expt.Fig3(), nil)
+	}
+	if want("fig4") {
+		emit(expt.Fig4(), nil)
+	}
+	if want("fig5") {
+		emit(expt.Fig5(), nil)
+	}
+	if want("fig6") {
+		emit(expt.Fig6(), nil)
+	}
+	if want("i") {
+		emit(c.TableI())
+	}
+	if want("ii") {
+		emit(c.TableII())
+	}
+	if want("iii") {
+		emit(c.TableIII())
+	}
+	if want("iv") {
+		t, _, err := c.TableIV()
+		emit(t, err)
+	}
+	if want("v") {
+		t, _, err := c.TableV()
+		emit(t, err)
+	}
+	if want("vi") {
+		t, _, err := c.TableVI()
+		emit(t, err)
+	}
+	if want("vii") {
+		emit(c.TableVII())
+	}
+	if want("viii") {
+		emit(c.TableVIII())
+	}
+	if want("fig10") {
+		emit(c.Fig10(*fig10Design, 24))
+	}
+	fmt.Fprintf(os.Stderr, "tables: done in %v (scale %.2f)\n", time.Since(start).Round(time.Millisecond), *scale)
+}

@@ -1,0 +1,53 @@
+// Leakage recovery: the Table IV/VI scenario.  A chip is meeting timing
+// but burning too much leakage power; the fab can still change the dose
+// recipe.  This example runs the dose-map QP at three grid granularities
+// and on one versus two layers, showing how much leakage each equipment
+// capability recovers with zero timing impact.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	preset := repro.JPEG65().Scaled(0.08)
+	d, err := repro.Generate(preset)
+	if err != nil {
+		log.Fatal(err)
+	}
+	golden, err := repro.Analyze(d)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %d cells, nominal MCT %.1f ps\n\n", preset.Name, d.Circ.NumCells(), golden.MCT)
+	fmt.Printf("%-10s %-12s %-12s %-12s %-10s\n", "grid (µm)", "layers", "leak (µW)", "saved (%)", "ΔMCT (%)")
+
+	for _, g := range []float64{5, 10, 30} {
+		for _, both := range []bool{false, true} {
+			model, err := repro.FitModel(golden, both)
+			if err != nil {
+				log.Fatal(err)
+			}
+			opt := repro.DefaultOptions()
+			opt.G = g
+			opt.BothLayers = both
+			res, err := repro.RunQP(golden, model, opt, golden.MCT)
+			if err != nil {
+				log.Fatal(err)
+			}
+			layers := "Lgate"
+			if both {
+				layers = "Lgate+Wgate"
+			}
+			fmt.Printf("%-10.1f %-12s %-12.1f %-12.2f %-10.2f\n",
+				g, layers, res.Golden.LeakUW,
+				100*(1-res.Golden.LeakUW/res.Nominal.LeakUW),
+				100*(res.Golden.MCTps/res.Nominal.MCTps-1))
+		}
+	}
+	fmt.Println("\nfiner grids recover more leakage; width modulation adds only a sliver")
+	fmt.Println("(the dose-reachable ±10 nm is small against ≥200 nm transistor widths).")
+}

@@ -1,0 +1,442 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/dosemap"
+	"repro/internal/netlist"
+	"repro/internal/qp"
+	"repro/internal/sta"
+	"repro/internal/tech"
+)
+
+// The cutting-plane solver is the default engine for both DMopt
+// formulations.  It solves the identical mathematical program as the
+// node-based assembly (Eqs. 2-12) but represents the timing constraints
+// by path cuts generated on demand:
+//
+//	nom(π) + Σ_{p∈π} (A_p·Ds·dP_{g(p)} + B_p·Ds·dA_{g(p)}) ≤ τ
+//
+// for each path π whose linear-model delay exceeds τ at the current
+// dose iterate.  Arrival-time variables — which carry no objective
+// curvature and slow the first-order QP solver badly — disappear; the
+// QP retains only dose variables with strictly convex leakage cost.
+// Cuts are valid for every clock-period probe, so the QCP bisection
+// shares one growing pool.
+
+// cut is one path constraint over the dose variables.
+type cut struct {
+	cols []int
+	vals []float64
+	nom  float64 // dose-independent path delay in ps
+}
+
+type cutSolver struct {
+	golden *sta.Result
+	model  *Model
+	opt    Options
+	grid   dosemap.Grid
+	gridOf []int
+	order  []int
+	nG     int
+	nVar   int
+
+	pd, q []float64 // objective
+	cuts  []cut
+	seen  map[string]bool
+	x     []float64 // warm-start iterate
+
+	rounds, solves int
+}
+
+func newCutSolver(golden *sta.Result, model *Model, opt Options) (*cutSolver, error) {
+	in := golden.In
+	grid, err := dosemap.NewGrid(in.Pl.ChipW, in.Pl.ChipH, opt.G)
+	if err != nil {
+		return nil, err
+	}
+	order, err := in.Circ.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	cs := &cutSolver{
+		golden: golden, model: model, opt: opt, grid: grid,
+		gridOf: gateGrid(in, grid), order: order,
+		nG:   grid.Cells(),
+		seen: make(map[string]bool),
+	}
+	cs.nVar = cs.nG
+	if opt.BothLayers {
+		cs.nVar = 2 * cs.nG
+	}
+	cs.pd = make([]float64, cs.nVar)
+	cs.q = make([]float64, cs.nVar)
+	ds := tech.DoseSensitivity
+	for id := range in.Circ.Gates {
+		g := cs.gridOf[id]
+		if g < 0 {
+			continue
+		}
+		cs.pd[g] += 2 * model.Alpha[id] * ds * ds
+		cs.q[g] += model.Beta[id] * ds
+		if opt.BothLayers {
+			cs.q[cs.nG+g] += model.Gamma[id] * ds
+		}
+	}
+	if opt.BothLayers {
+		// The active-layer objective is exactly linear (leakage is linear
+		// in gate width), which leaves those variables without curvature
+		// and slows the first-order QP solver badly.  A tiny quadratic
+		// regularization — three orders below the poly curvature — fixes
+		// conditioning while perturbing the optimum negligibly.
+		reg := 0.0
+		for g := 0; g < cs.nG; g++ {
+			if cs.pd[g] > reg {
+				reg = cs.pd[g]
+			}
+		}
+		reg *= 1e-2
+		if reg <= 0 {
+			reg = 1e-6
+		}
+		for g := 0; g < cs.nG; g++ {
+			cs.pd[cs.nG+g] += reg
+		}
+	}
+	cs.x = make([]float64, cs.nVar)
+	return cs, nil
+}
+
+// deltaFn returns the per-gate linear delay delta under dose vector x.
+func (cs *cutSolver) deltaFn(x []float64) func(id int) float64 {
+	ds := tech.DoseSensitivity
+	return func(id int) float64 {
+		g := cs.gridOf[id]
+		if g < 0 {
+			return 0
+		}
+		v := cs.model.A[id] * ds * x[g]
+		if cs.opt.BothLayers {
+			v += cs.model.B[id] * ds * x[cs.nG+g]
+		}
+		return v
+	}
+}
+
+// makeCut converts a path (from the linear-model enumeration at dose x)
+// into a constraint row.
+func (cs *cutSolver) makeCut(p *sta.Path, x []float64) cut {
+	ds := tech.DoseSensitivity
+	coeff := map[int]float64{}
+	for i, id := range p.Nodes {
+		g := cs.gridOf[id]
+		if g < 0 {
+			continue
+		}
+		kind := cs.golden.In.Circ.Gates[id].Kind
+		// Dose affects the cell delay of combinational nodes and the
+		// clock-to-q of the launching register (first node); the
+		// capturing endpoint contributes no dose-dependent delay.
+		isLaunch := i == 0 && kind == netlist.Seq
+		if kind == netlist.Comb || isLaunch {
+			coeff[g] += cs.model.A[id] * ds
+			if cs.opt.BothLayers {
+				coeff[cs.nG+g] += cs.model.B[id] * ds
+			}
+		}
+	}
+	c := cut{}
+	lin := 0.0
+	for col, v := range coeff {
+		c.cols = append(c.cols, col)
+		c.vals = append(c.vals, v)
+		lin += v * x[col]
+	}
+	c.nom = p.Delay - lin
+	return c
+}
+
+func (c cut) signature() string {
+	// Stable enough: columns are map-ordered, so sort by building a
+	// canonical string of col:val pairs rounded to fixed precision.
+	type pair struct {
+		col int
+		val float64
+	}
+	pairs := make([]pair, len(c.cols))
+	for i := range c.cols {
+		pairs[i] = pair{c.cols[i], c.vals[i]}
+	}
+	for i := 1; i < len(pairs); i++ {
+		for j := i; j > 0 && pairs[j].col < pairs[j-1].col; j-- {
+			pairs[j], pairs[j-1] = pairs[j-1], pairs[j]
+		}
+	}
+	s := fmt.Sprintf("%.2f|", c.nom)
+	for _, p := range pairs {
+		s += fmt.Sprintf("%d:%.4f;", p.col, p.val)
+	}
+	return s
+}
+
+// buildProblem assembles the current QP: box + smoothness + cuts.
+func (cs *cutSolver) buildProblem(tau float64) *qp.Problem {
+	opt := cs.opt
+	nLayers := 1
+	if opt.BothLayers {
+		nLayers = 2
+	}
+	ptr := qp.NewTriplet(cs.nVar, cs.nVar)
+	for j, v := range cs.pd {
+		if v != 0 {
+			ptr.Add(j, j, v)
+		}
+	}
+	type entry struct {
+		r, c int
+		v    float64
+	}
+	var entries []entry
+	var l, u []float64
+	row := 0
+	addRow := func(lo, hi float64) int {
+		l = append(l, lo)
+		u = append(u, hi)
+		r := row
+		row++
+		return r
+	}
+	inf := math.Inf(1)
+	for layer := 0; layer < nLayers; layer++ {
+		for g := 0; g < cs.nG; g++ {
+			r := addRow(opt.DoseLo, opt.DoseHi)
+			entries = append(entries, entry{r, layer*cs.nG + g, 1})
+		}
+	}
+	grid := cs.grid
+	for layer := 0; layer < nLayers; layer++ {
+		off := layer * cs.nG
+		for i := 0; i < grid.M; i++ {
+			for j := 0; j < grid.N; j++ {
+				a := grid.Flat(i, j)
+				if j+1 < grid.N {
+					r := addRow(-opt.Delta, opt.Delta)
+					entries = append(entries, entry{r, off + a, 1}, entry{r, off + grid.Flat(i, j+1), -1})
+				}
+				if i+1 < grid.M {
+					r := addRow(-opt.Delta, opt.Delta)
+					entries = append(entries, entry{r, off + a, 1}, entry{r, off + grid.Flat(i+1, j), -1})
+				}
+				if i+1 < grid.M && j+1 < grid.N {
+					r := addRow(-opt.Delta, opt.Delta)
+					entries = append(entries, entry{r, off + a, 1}, entry{r, off + grid.Flat(i+1, j+1), -1})
+				}
+			}
+		}
+	}
+	if opt.Tiled {
+		// Seam smoothness: tiling copies of the field places the last
+		// column/row against the first of the next copy.
+		for layer := 0; layer < nLayers; layer++ {
+			off := layer * cs.nG
+			for i := 0; i < grid.M; i++ {
+				r := addRow(-opt.Delta, opt.Delta)
+				entries = append(entries, entry{r, off + grid.Flat(i, grid.N-1), 1},
+					entry{r, off + grid.Flat(i, 0), -1})
+			}
+			for j := 0; j < grid.N; j++ {
+				r := addRow(-opt.Delta, opt.Delta)
+				entries = append(entries, entry{r, off + grid.Flat(grid.M-1, j), 1},
+					entry{r, off + grid.Flat(0, j), -1})
+			}
+		}
+	}
+	for _, c := range cs.cuts {
+		r := addRow(-inf, tau-c.nom)
+		for i := range c.cols {
+			entries = append(entries, entry{r, c.cols[i], c.vals[i]})
+		}
+	}
+	tr := qp.NewTriplet(row, cs.nVar)
+	for _, e := range entries {
+		tr.Add(e.r, e.c, e.v)
+	}
+	return &qp.Problem{P: ptr.Compile(), Q: cs.q, A: tr.Compile(), L: l, U: u}
+}
+
+// solveTau minimizes Δleakage subject to MCT ≤ tau by cut generation,
+// abandoning the probe as soon as the objective provably exceeds xiNW
+// (cuts only shrink the feasible set, so the round objectives are
+// non-decreasing — once above the budget the probe can never recover).
+// Pass +Inf for a plain QP solve.  It returns the model objective in nW;
+// feasible is false when the probe is infeasible or over budget.
+func (cs *cutSolver) solveTau(tau, xiNW float64) (obj float64, feasible bool, err error) {
+	opt := cs.opt
+	tolPs := opt.CutTolPs
+	if tolPs <= 0 {
+		tolPs = 2e-4 * cs.golden.MCT
+	}
+	maxRounds := opt.CutRounds
+	if maxRounds <= 0 {
+		maxRounds = 60
+	}
+	perRound := opt.CutsPerRound
+	if perRound <= 0 {
+		perRound = 64
+	}
+	for round := 0; round < maxRounds; round++ {
+		cs.rounds++
+		prob := cs.buildProblem(tau)
+		solver, err := qp.NewSolver(prob, opt.QP)
+		if err != nil {
+			return 0, false, err
+		}
+		if err := solver.WarmStart(cs.x, nil); err != nil {
+			return 0, false, err
+		}
+		res := solver.Solve()
+		cs.solves++
+		if res.Status == qp.PrimalInfeasible {
+			return 0, false, nil
+		}
+		if res.Status != qp.Solved && prob.MaxViolation(res.X) > 0.2 {
+			// Stalled under the fast default budget: retry this round
+			// once with a 6x iteration budget before giving up.
+			boosted := opt.QP
+			boosted.MaxIter *= 6
+			solver, err = qp.NewSolver(prob, boosted)
+			if err != nil {
+				return 0, false, err
+			}
+			if err := solver.WarmStart(res.X, res.Y); err != nil {
+				return 0, false, err
+			}
+			res = solver.Solve()
+			cs.solves++
+			if res.Status == qp.PrimalInfeasible {
+				return 0, false, nil
+			}
+			if res.Status != qp.Solved && prob.MaxViolation(res.X) > 0.5 {
+				return 0, false, fmt.Errorf("core: cut QP did not converge (τ=%.1f, round %d, viol %.3g)",
+					tau, round, prob.MaxViolation(res.X))
+			}
+			// Residual violations below half a percent of dose (or half
+			// a picosecond on a cut) are absorbed by map legalization
+			// and re-measured by golden signoff.
+		}
+		copy(cs.x, res.X)
+		// Clamp numerical box slop before evaluating timing.
+		for j := 0; j < cs.nVar; j++ {
+			cs.x[j] = clamp(cs.x[j], opt.DoseLo, opt.DoseHi)
+		}
+		if o := cs.objective(cs.x); o > xiNW+xiTolerance(cs.golden, xiNW) {
+			return o, false, nil
+		}
+		delta := cs.deltaFn(cs.x)
+		_, mct := linearArrivals(cs.golden, delta)
+		if mct <= tau+tolPs {
+			return cs.objective(cs.x), true, nil
+		}
+		// Generate violated path cuts.
+		arcFn := func(from, to int) float64 {
+			a := cs.golden.ArcDelay(from, to)
+			if cs.golden.In.Circ.Gates[to].Kind == netlist.Comb {
+				a += delta(to)
+			}
+			return a
+		}
+		startFn := func(id int) float64 {
+			s := cs.golden.StartWeight(id)
+			if cs.golden.In.Circ.Gates[id].Kind == netlist.Seq {
+				s += delta(id)
+			}
+			return s
+		}
+		paths := sta.TopPathsDAG(cs.golden.In.Circ, cs.order, arcFn, startFn, cs.golden.EndWeight,
+			perRound, 0)
+		added := 0
+		for _, p := range paths {
+			if p.Delay <= tau+tolPs/2 {
+				break // paths arrive in non-increasing delay order
+			}
+			c := cs.makeCut(p, cs.x)
+			sig := c.signature()
+			if cs.seen[sig] {
+				continue
+			}
+			cs.seen[sig] = true
+			cs.cuts = append(cs.cuts, c)
+			added++
+		}
+		if added == 0 {
+			// All violating paths already cut but the QP solution still
+			// violates: solver tolerance floor.  Accept if close.
+			if mct <= tau+5*tolPs {
+				return cs.objective(cs.x), true, nil
+			}
+			return 0, false, fmt.Errorf("core: cut generation stalled at τ=%.1f (mct %.1f)", tau, mct)
+		}
+	}
+	return 0, false, errors.New("core: cut generation exceeded round budget")
+}
+
+// objective evaluates the model Δleakage of dose vector x in nW.
+func (cs *cutSolver) objective(x []float64) float64 {
+	obj := 0.0
+	for j := 0; j < cs.nVar; j++ {
+		obj += 0.5*cs.pd[j]*x[j]*x[j] + cs.q[j]*x[j]
+	}
+	return obj
+}
+
+// layers converts the iterate into dose maps, legalized onto the exact
+// equipment-feasible set (range + smoothness) so downstream consumers
+// never see solver slop.
+func (cs *cutSolver) layers() dosemap.Layers {
+	opt := cs.opt
+	legalize := func(m *dosemap.Map) {
+		if opt.Tiled {
+			m.LegalizeTiled(opt.DoseLo, opt.DoseHi, opt.Delta, 50)
+		} else {
+			m.Legalize(opt.DoseLo, opt.DoseHi, opt.Delta, 50)
+		}
+	}
+	poly := dosemap.NewMap(cs.grid)
+	copy(poly.D, cs.x[:cs.nG])
+	legalize(poly)
+	out := dosemap.Layers{Poly: poly}
+	if opt.BothLayers {
+		act := dosemap.NewMap(cs.grid)
+		copy(act.D, cs.x[cs.nG:2*cs.nG])
+		legalize(act)
+		out.Active = act
+	}
+	return out
+}
+
+// result packages the current iterate like the node-based path does.
+func (cs *cutSolver) result(probes int) (*Result, error) {
+	layers := cs.layers()
+	// Reuse problem.predict via a light adapter.
+	p := &problem{in: cs.golden.In, opt: cs.opt, model: cs.model, golden: cs.golden,
+		grid: cs.grid, gridOf: cs.gridOf, nG: cs.nG}
+	predMCT, predLeak := p.predict(layers)
+	nominal := Eval{MCTps: cs.golden.MCT, LeakUW: nominalLeak(cs.golden)}
+	gold, err := signoff(cs.golden, cs.opt, layers)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Layers:          layers,
+		PredMCT:         predMCT,
+		PredDeltaLeakNW: predLeak,
+		Nominal:         nominal,
+		Golden:          gold,
+		Probes:          probes,
+		Rows:            len(cs.cuts),
+		Cols:            cs.nVar,
+		Status:          fmt.Sprintf("cuts=%d rounds=%d solves=%d", len(cs.cuts), cs.rounds, cs.solves),
+	}, nil
+}

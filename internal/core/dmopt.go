@@ -1,0 +1,755 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/dosemap"
+	"repro/internal/liberty"
+	"repro/internal/netlist"
+	"repro/internal/power"
+	"repro/internal/qp"
+	"repro/internal/sta"
+	"repro/internal/tech"
+)
+
+// Options configures a DMopt run.
+type Options struct {
+	// G is the grid granularity in µm (Section II-B; the paper sweeps
+	// 5, 10, 30 and 50 µm).
+	G float64
+	// Delta is the dose smoothness bound δ in percent (Eq. 4/9).
+	Delta float64
+	// DoseLo, DoseHi are the equipment correction range L, U in percent
+	// (Eq. 3/8; ±5% for DoseMapper).
+	DoseLo, DoseHi float64
+	// BothLayers enables simultaneous poly+active optimization
+	// (Section III-B); otherwise poly-only (Section III-A).
+	BothLayers bool
+	// XiNW is the Δleakage budget ξ in nW for the QCP (Eq. 7/12).
+	XiNW float64
+	// Snap rounds grid doses to the characterized library steps before
+	// golden signoff (footnote 7).
+	Snap bool
+	// Tiled adds seam smoothness constraints between opposite map edges
+	// so the optimized field can be stepped side-by-side across the
+	// wafer (Section II-B: "multiple copies of the dose map solution
+	// are tiled horizontally and vertically").
+	Tiled bool
+	// BisectTol is the relative clock-period tolerance of the QCP
+	// bisection.
+	BisectTol float64
+	// MaxProbes bounds the QCP bisection length.
+	MaxProbes int
+	// Method selects the solve engine: the default cutting-plane engine
+	// or the node-based arrival-variable assembly (kept for
+	// cross-validation; slower to converge under ADMM).
+	Method Method
+	// CutRounds, CutsPerRound and CutTolPs tune the cutting-plane engine
+	// (zero values select sensible defaults).
+	CutRounds    int
+	CutsPerRound int
+	CutTolPs     float64
+	// QP tunes the inner solver.
+	QP qp.Settings
+	// STA sets golden-analysis boundary conditions.
+	STA sta.Config
+}
+
+// Method selects the DMopt solve engine.
+type Method int
+
+const (
+	// MethodCuts solves the QP over dose variables with on-demand path
+	// cuts (default).
+	MethodCuts Method = iota
+	// MethodNode solves the full node-based assembly with arrival-time
+	// variables (Eq. 5/10 verbatim).
+	MethodNode
+)
+
+// DefaultOptions returns the paper's main configuration: 5 µm grids,
+// δ = 2, ±5% dose range, poly-only, ξ = 0 (no leakage increase allowed).
+func DefaultOptions() Options {
+	set := qp.DefaultSettings()
+	// The outer cut-generation loop supplies the real convergence test
+	// (model MCT against τ), so the inner ADMM solves run on a modest
+	// budget; this is ~15x faster than solving every QP to 1e-4 with no
+	// measurable change in the optimized dose maps.
+	set.MaxIter = 1500
+	set.EpsAbs, set.EpsRel = 3e-4, 3e-4
+	return Options{
+		G:         5,
+		Delta:     2,
+		DoseLo:    -5,
+		DoseHi:    5,
+		XiNW:      0,
+		Snap:      true,
+		BisectTol: 1e-3,
+		MaxProbes: 24,
+		QP:        set,
+		STA:       sta.DefaultConfig(),
+	}
+}
+
+// Eval is a golden-signoff snapshot.
+type Eval struct {
+	MCTps  float64
+	LeakUW float64
+}
+
+// Result is the outcome of a DMopt run.
+type Result struct {
+	// Layers holds the optimized dose maps (Active nil for poly-only).
+	Layers dosemap.Layers
+	// PredMCT is the linear-model minimum cycle time under the solution.
+	PredMCT float64
+	// PredDeltaLeakNW is the model Δleakage of the solution (Eq. 2).
+	PredDeltaLeakNW float64
+	// Nominal and Golden are signoff snapshots before and after.
+	Nominal, Golden Eval
+	// Probes counts QCP bisection iterations (1 for the plain QP).
+	Probes int
+	// ArrivalVars is the number of timing-relevant gates given arrival
+	// variables after pruning.
+	ArrivalVars int
+	// Rows and Cols are the assembled constraint-matrix dimensions.
+	Rows, Cols int
+	// Status reports the final solver status.
+	Status string
+	// Runtime is the wall-clock optimization time.
+	Runtime time.Duration
+}
+
+// problem is an assembled DMopt instance ready for (repeated) solving.
+type problem struct {
+	in     sta.Input
+	opt    Options
+	model  *Model
+	golden *sta.Result
+	grid   dosemap.Grid
+
+	nG, nVar int
+	arrIdx   []int // gate → arrival-variable index, or -1
+	gridOf   []int // gate → flat grid index, or -1 for ports
+
+	qpProb   *qp.Problem
+	l, u     []float64
+	endRows  []endRow
+	worstArr []float64
+	Rows     int
+}
+
+type endRow struct {
+	row int
+	off float64 // row bound is τ − off
+}
+
+// gateGrid maps every cell to its flat grid index.
+func gateGrid(in sta.Input, grid dosemap.Grid) []int {
+	g := make([]int, in.Circ.NumGates())
+	for id, gate := range in.Circ.Gates {
+		if gate.Kind != netlist.Comb && gate.Kind != netlist.Seq {
+			g[id] = -1
+			continue
+		}
+		i, j := grid.Index(in.Pl.X[id], in.Pl.Y[id])
+		g[id] = grid.Flat(i, j)
+	}
+	return g
+}
+
+// maxDelayDelta returns each gate's largest possible delay increase under
+// the dose range (used for conservative pruning), and minDelayDelta the
+// largest possible decrease (most negative delta).
+func (p *problem) maxDelayDelta(id int) float64 {
+	ds := tech.DoseSensitivity
+	// A·Ds·d maximal at d = DoseLo (Ds<0, A≥0); B·Ds·d maximal at DoseHi.
+	v := p.model.A[id] * ds * p.opt.DoseLo
+	if p.opt.BothLayers {
+		v += p.model.B[id] * ds * p.opt.DoseHi
+	}
+	return math.Max(v, 0)
+}
+
+func (p *problem) minDelayDelta(id int) float64 {
+	ds := tech.DoseSensitivity
+	v := p.model.A[id] * ds * p.opt.DoseHi
+	if p.opt.BothLayers {
+		v += p.model.B[id] * ds * p.opt.DoseLo
+	}
+	return math.Min(v, 0)
+}
+
+// linearArrivals runs a forward pass over the frozen golden arc delays
+// with the given per-gate delay deltas, returning per-gate output
+// arrivals and the resulting MCT.  This is the optimizer's linear timing
+// model (Eq. 5/10) evaluated at a concrete dose assignment.
+func linearArrivals(golden *sta.Result, delta func(id int) float64) ([]float64, float64) {
+	in := golden.In
+	order, _ := in.Circ.TopoOrder()
+	n := in.Circ.NumGates()
+	arr := make([]float64, n)
+	// Launches first (order does not cover FF-out edges).
+	for id, g := range in.Circ.Gates {
+		if g.Kind == netlist.Seq {
+			arr[id] = golden.AOut[id] + delta(id)
+		}
+	}
+	mct := 0.0
+	for _, id := range order {
+		g := in.Circ.Gates[id]
+		switch g.Kind {
+		case netlist.Comb:
+			best := 0.0
+			for _, fi := range g.Fanins {
+				if a := arr[fi] + golden.ArcDelay(fi, id) + delta(id); a > best {
+					best = a
+				}
+			}
+			arr[id] = best
+		case netlist.PO, netlist.Seq:
+			best := 0.0
+			for _, fi := range g.Fanins {
+				if a := arr[fi] + golden.ArcDelay(fi, id); a > best {
+					best = a
+				}
+			}
+			if g.Kind == netlist.PO {
+				arr[id] = best
+				if best > mct {
+					mct = best
+				}
+			} else if e := best + golden.EndWeight(id); e > mct {
+				mct = e
+			}
+		}
+	}
+	return arr, mct
+}
+
+// linearSuffix computes, per gate, the largest downstream delay to any
+// endpoint under the given per-gate deltas (analogous to the path-search
+// suffix but on the linear model).
+func linearSuffix(golden *sta.Result, delta func(id int) float64) []float64 {
+	in := golden.In
+	order, _ := in.Circ.TopoOrder()
+	n := in.Circ.NumGates()
+	suf := make([]float64, n)
+	for i := range suf {
+		suf[i] = math.Inf(-1)
+	}
+	relax := func(id int) {
+		g := in.Circ.Gates[id]
+		best := math.Inf(-1)
+		for _, fo := range g.Fanouts {
+			fog := in.Circ.Gates[fo]
+			arc := golden.ArcDelay(id, fo)
+			var v float64
+			switch fog.Kind {
+			case netlist.PO, netlist.Seq:
+				v = arc + golden.EndWeight(fo)
+			default:
+				if math.IsInf(suf[fo], -1) {
+					continue
+				}
+				v = arc + delta(fo) + suf[fo]
+			}
+			if v > best {
+				best = v
+			}
+		}
+		suf[id] = best
+	}
+	for i := len(order) - 1; i >= 0; i-- {
+		if in.Circ.Gates[order[i]].Kind != netlist.Seq {
+			relax(order[i])
+		}
+	}
+	for id, g := range in.Circ.Gates {
+		if g.Kind == netlist.Seq {
+			relax(id)
+		}
+	}
+	return suf
+}
+
+// assemble builds the QP instance.  pruneThresh is the linear-model path
+// delay below which (under the slowest reachable dose) a gate can never
+// constrain the clock period; tau0 initializes the endpoint bounds.
+func assemble(golden *sta.Result, model *Model, opt Options, pruneThresh, tau0 float64) (*problem, error) {
+	in := golden.In
+	grid, err := dosemap.NewGrid(in.Pl.ChipW, in.Pl.ChipH, opt.G)
+	if err != nil {
+		return nil, err
+	}
+	p := &problem{in: in, opt: opt, model: model, golden: golden, grid: grid}
+	p.gridOf = gateGrid(in, grid)
+	p.nG = grid.Cells()
+	nLayers := 1
+	if opt.BothLayers {
+		nLayers = 2
+	}
+
+	// Pruning: worst-case (slowest-dose) arrivals and suffixes.
+	worstArr, _ := linearArrivals(golden, p.maxDelayDelta)
+	worstSuf := linearSuffix(golden, p.maxDelayDelta)
+	p.worstArr = worstArr
+	n := in.Circ.NumGates()
+	p.arrIdx = make([]int, n)
+	nArr := 0
+	base := nLayers * p.nG
+	for id, g := range in.Circ.Gates {
+		p.arrIdx[id] = -1
+		if g.Kind != netlist.Comb && g.Kind != netlist.Seq {
+			continue
+		}
+		if math.IsInf(worstSuf[id], -1) {
+			continue // dead end: no path to an endpoint
+		}
+		if worstArr[id]+worstSuf[id] >= pruneThresh {
+			p.arrIdx[id] = base + nArr
+			nArr++
+		}
+	}
+	p.nVar = base + nArr
+
+	ds := tech.DoseSensitivity
+
+	// Objective.
+	pd := make([]float64, p.nVar) // diagonal of P
+	q := make([]float64, p.nVar)
+	for id := range in.Circ.Gates {
+		gidx := p.gridOf[id]
+		if gidx < 0 {
+			continue
+		}
+		pd[gidx] += 2 * model.Alpha[id] * ds * ds
+		q[gidx] += model.Beta[id] * ds
+		if opt.BothLayers {
+			q[p.nG+gidx] += model.Gamma[id] * ds
+		}
+	}
+	ptr := qp.NewTriplet(p.nVar, p.nVar)
+	for j, v := range pd {
+		if v != 0 {
+			ptr.Add(j, j, v)
+		}
+	}
+
+	// Constraints: collect entries first (the row count is only known at
+	// the end), then compile into CSR.
+	type entry struct {
+		r, c int
+		v    float64
+	}
+	var entries []entry
+	var l, u []float64
+	row := 0
+	addRow := func(lo, hi float64) int {
+		l = append(l, lo)
+		u = append(u, hi)
+		r := row
+		row++
+		return r
+	}
+	add := func(r, c int, v float64) { entries = append(entries, entry{r, c, v}) }
+	inf := math.Inf(1)
+
+	// Box (Eq. 3/8).
+	for layer := 0; layer < nLayers; layer++ {
+		for g := 0; g < p.nG; g++ {
+			r := addRow(opt.DoseLo, opt.DoseHi)
+			add(r, layer*p.nG+g, 1)
+		}
+	}
+	// Smoothness (Eq. 4/9): right, down, and down-right diagonal pairs.
+	for layer := 0; layer < nLayers; layer++ {
+		off := layer * p.nG
+		for i := 0; i < grid.M; i++ {
+			for j := 0; j < grid.N; j++ {
+				a := grid.Flat(i, j)
+				pairs := [][2]int{}
+				if j+1 < grid.N {
+					pairs = append(pairs, [2]int{a, grid.Flat(i, j+1)})
+				}
+				if i+1 < grid.M {
+					pairs = append(pairs, [2]int{a, grid.Flat(i+1, j)})
+				}
+				if i+1 < grid.M && j+1 < grid.N {
+					pairs = append(pairs, [2]int{a, grid.Flat(i+1, j+1)})
+				}
+				for _, pr := range pairs {
+					r := addRow(-opt.Delta, opt.Delta)
+					add(r, off+pr[0], 1)
+					add(r, off+pr[1], -1)
+				}
+			}
+		}
+	}
+	// Timing (Eq. 5/10).
+	for id, g := range in.Circ.Gates {
+		ai := p.arrIdx[id]
+		if ai < 0 {
+			continue
+		}
+		gidx := p.gridOf[id]
+		switch g.Kind {
+		case netlist.Seq:
+			// Launch: a_s ≥ clk2q_nom + A·Ds·dP (+ B·Ds·dA).
+			r := addRow(golden.AOut[id], inf)
+			add(r, ai, 1)
+			add(r, gidx, -model.A[id]*ds)
+			if opt.BothLayers {
+				add(r, p.nG+gidx, -model.B[id]*ds)
+			}
+		case netlist.Comb:
+			for _, fi := range g.Fanins {
+				arc := golden.ArcDelay(fi, id)
+				r := addRow(0, inf) // filled below
+				add(r, ai, 1)
+				add(r, gidx, -model.A[id]*ds)
+				if opt.BothLayers {
+					add(r, p.nG+gidx, -model.B[id]*ds)
+				}
+				if fj := p.arrIdx[fi]; fj >= 0 {
+					add(r, fj, -1)
+					l[r] = arc
+				} else {
+					// Excluded driver: conservative constant arrival.
+					l[r] = arc + worstArr[fi]
+				}
+			}
+		}
+	}
+	// Endpoint rows: a_r ≤ τ − wire − endWeight for every endpoint fanin.
+	for id, g := range in.Circ.Gates {
+		if g.Kind != netlist.PO && g.Kind != netlist.Seq {
+			continue
+		}
+		for _, fi := range g.Fanins {
+			fj := p.arrIdx[fi]
+			if fj < 0 {
+				continue // pruned: cannot reach τ by construction
+			}
+			off := golden.ArcDelay(fi, id) + golden.EndWeight(id)
+			r := addRow(-inf, tau0-off)
+			add(r, fj, 1)
+			p.endRows = append(p.endRows, endRow{row: r, off: off})
+		}
+	}
+
+	tr := qp.NewTriplet(row, p.nVar)
+	for _, e := range entries {
+		tr.Add(e.r, e.c, e.v)
+	}
+	p.qpProb = &qp.Problem{P: ptr.Compile(), Q: q, A: tr.Compile(), L: l, U: u}
+	p.l, p.u = l, u
+	p.Rows = row
+	return p, nil
+}
+
+// setBoundsTau rewrites the endpoint-row upper bounds for a new clock
+// period probe and pushes them into the warm solver.
+func (p *problem) setBoundsTau(s *qp.Solver, tau float64) error {
+	for _, er := range p.endRows {
+		p.u[er.row] = tau - er.off
+	}
+	return s.UpdateBounds(p.l, p.u)
+}
+
+// extract converts a QP solution into legalized dose maps.
+func (p *problem) extract(x []float64) dosemap.Layers {
+	poly := dosemap.NewMap(p.grid)
+	copy(poly.D, x[:p.nG])
+	poly.Legalize(p.opt.DoseLo, p.opt.DoseHi, p.opt.Delta, 50)
+	layers := dosemap.Layers{Poly: poly}
+	if p.opt.BothLayers {
+		act := dosemap.NewMap(p.grid)
+		copy(act.D, x[p.nG:2*p.nG])
+		act.Legalize(p.opt.DoseLo, p.opt.DoseHi, p.opt.Delta, 50)
+		layers.Active = act
+	}
+	return layers
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// signoff applies the layers to the design and runs golden STA + power.
+func signoff(golden *sta.Result, opt Options, layers dosemap.Layers) (Eval, error) {
+	in := golden.In
+	dL, dW := layers.PerGate(in.Circ, in.Pl, opt.Snap)
+	pert := &sta.Perturb{DL: dL, DW: dW}
+	r, err := sta.Analyze(in, opt.STA, pert)
+	if err != nil {
+		return Eval{}, err
+	}
+	return Eval{MCTps: r.MCT, LeakUW: power.Total(in.Masters, dL, dW)}, nil
+}
+
+// predict evaluates the linear timing model and Eq. 2 leakage model at a
+// solution.
+func (p *problem) predict(layers dosemap.Layers) (mct, dleakNW float64) {
+	ds := tech.DoseSensitivity
+	deltaOf := func(id int) float64 {
+		gidx := p.gridOf[id]
+		if gidx < 0 {
+			return 0
+		}
+		v := p.model.A[id] * ds * layers.Poly.D[gidx]
+		if p.opt.BothLayers && layers.Active != nil {
+			v += p.model.B[id] * ds * layers.Active.D[gidx]
+		}
+		return v
+	}
+	_, mct = linearArrivals(p.golden, deltaOf)
+	n := p.in.Circ.NumGates()
+	dP := make([]float64, n)
+	var dA []float64
+	if p.opt.BothLayers && layers.Active != nil {
+		dA = make([]float64, n)
+	}
+	for id := 0; id < n; id++ {
+		if g := p.gridOf[id]; g >= 0 {
+			dP[id] = layers.Poly.D[g]
+			if dA != nil {
+				dA[id] = layers.Active.D[g]
+			}
+		}
+	}
+	return mct, p.model.DeltaLeak(dP, dA)
+}
+
+// nominalLeak evaluates the zero-dose leakage in µW.
+func nominalLeak(golden *sta.Result) float64 {
+	return power.Total(golden.In.Masters, nil, nil)
+}
+
+// xiTolerance returns the leakage-budget acceptance tolerance in nW:
+// one part in 10⁴ of the design's nominal leakage (the solver's dose
+// precision maps to roughly this much objective noise), plus a relative
+// term for large explicit budgets.
+func xiTolerance(golden *sta.Result, xiNW float64) float64 {
+	return 1e-6*math.Abs(xiNW) + 1e-4*nominalLeak(golden)*power.NWPerUW
+}
+
+// snapLeakMargin estimates the leakage the timing-safe snapping adds on
+// top of the optimizer's solution: each grid dose rounds up by half a
+// characterized step on average, shortening gates by |Ds|·step/2 nm, so
+// the expected extra leakage is that length times Σ|β_p|.  The QCP
+// subtracts this margin from its budget ξ so the golden signoff still
+// lands within the requested leakage bound after rounding.
+func snapLeakMargin(model *Model) float64 {
+	sum := 0.0
+	for _, b := range model.Beta {
+		sum += math.Abs(b)
+	}
+	return math.Abs(tech.DoseSensitivity) * liberty.DoseStep / 2 * sum
+}
+
+// DMoptQP solves "Dose Map Optimization for Improved Leakage Under Timing
+// Constraint" (Section III-A.1 / III-B.1): minimize Δleakage subject to
+// MCT ≤ tau (ps) plus range and smoothness constraints.
+func DMoptQP(golden *sta.Result, model *Model, opt Options, tau float64) (*Result, error) {
+	start := time.Now()
+	if tau <= 0 {
+		return nil, errors.New("core: non-positive timing constraint")
+	}
+	if opt.Method == MethodCuts {
+		cs, err := newCutSolver(golden, model, opt)
+		if err != nil {
+			return nil, err
+		}
+		_, feasible, err := cs.solveTau(tau, math.Inf(1))
+		if err != nil {
+			return nil, err
+		}
+		if !feasible {
+			return nil, fmt.Errorf("core: QP infeasible at τ = %.1f ps", tau)
+		}
+		r, err := cs.result(1)
+		if err != nil {
+			return nil, err
+		}
+		r.Runtime = time.Since(start)
+		return r, nil
+	}
+	prob, err := assemble(golden, model, opt, tau-1, tau)
+	if err != nil {
+		return nil, err
+	}
+	solver, err := qp.NewSolver(prob.qpProb, opt.QP)
+	if err != nil {
+		return nil, err
+	}
+	res := solver.Solve()
+	if res.Status == qp.PrimalInfeasible {
+		return nil, fmt.Errorf("core: QP infeasible at τ = %.1f ps", tau)
+	}
+	return finish(prob, res, 1, start)
+}
+
+// DMoptQCP solves "Dose Map Optimization for Improved Timing Under
+// Leakage Constraint" (Section III-A.2 / III-B.2): minimize the clock
+// period subject to Δleakage ≤ ξ.  The quadratically constrained program
+// is solved by monotone bisection on the clock period, using the QP as
+// the feasibility oracle: minLeak(τ) is non-increasing in τ, so
+// τ is feasible iff minLeak(τ) ≤ ξ.
+func DMoptQCP(golden *sta.Result, model *Model, opt Options) (*Result, error) {
+	start := time.Now()
+	// Lower bound: linear-model MCT at the fastest reachable dose.
+	_, tLo := linearArrivals(golden, func(id int) float64 {
+		if golden.In.Masters[id] == nil {
+			return 0
+		}
+		return minDelayDeltaFor(model, opt, id)
+	})
+	tHi := golden.MCT
+	if tLo >= tHi {
+		tLo = tHi * 0.8
+	}
+	if opt.Snap {
+		opt.XiNW -= snapLeakMargin(model)
+	}
+	if opt.Method == MethodCuts {
+		return qcpByCuts(golden, model, opt, tLo, tHi, start)
+	}
+	prob, err := assemble(golden, model, opt, tLo-1, tHi)
+	if err != nil {
+		return nil, err
+	}
+	solver, err := qp.NewSolver(prob.qpProb, opt.QP)
+	if err != nil {
+		return nil, err
+	}
+
+	var best *qp.Result
+	bestTau := tHi
+	probes := 0
+	lo, hi := tLo, tHi
+	xiTol := xiTolerance(golden, opt.XiNW)
+	for probes < opt.MaxProbes && (hi-lo) > opt.BisectTol*golden.MCT {
+		mid := 0.5 * (lo + hi)
+		if probes == 0 {
+			mid = hi // first probe at the nominal period must be feasible
+		}
+		if err := prob.setBoundsTau(solver, mid); err != nil {
+			return nil, err
+		}
+		res := solver.Solve()
+		probes++
+		feasible := res.Status == qp.Solved && res.Obj <= opt.XiNW+xiTol &&
+			prob.qpProb.MaxViolation(res.X) < 0.05
+		if feasible {
+			hi = mid
+			best = res
+			bestTau = mid
+		} else {
+			lo = mid
+		}
+	}
+	if best == nil {
+		return nil, errors.New("core: QCP bisection found no feasible clock period")
+	}
+	r, err := finish(prob, best, probes, start)
+	if err != nil {
+		return nil, err
+	}
+	if r.PredMCT > bestTau {
+		r.PredMCT = bestTau
+	}
+	return r, nil
+}
+
+// qcpByCuts runs the clock-period bisection on the cutting-plane engine.
+// The cut pool is shared across probes: a path cut is valid for every τ.
+func qcpByCuts(golden *sta.Result, model *Model, opt Options, tLo, tHi float64, start time.Time) (*Result, error) {
+	cs, err := newCutSolver(golden, model, opt)
+	if err != nil {
+		return nil, err
+	}
+	xiTol := xiTolerance(golden, opt.XiNW)
+	var bestX []float64
+	probes := 0
+	lo, hi := tLo, tHi
+	for probes < opt.MaxProbes && (hi-lo) > opt.BisectTol*golden.MCT {
+		mid := 0.5 * (lo + hi)
+		if probes == 0 {
+			mid = hi
+		}
+		obj, feasible, err := cs.solveTau(mid, opt.XiNW)
+		probes++
+		if err != nil {
+			// Treat solver trouble at this probe as infeasible rather
+			// than aborting the whole bisection.
+			feasible = false
+		}
+		if feasible && obj <= opt.XiNW+xiTol {
+			hi = mid
+			bestX = append(bestX[:0], cs.x...)
+		} else {
+			lo = mid
+		}
+	}
+	if bestX == nil {
+		return nil, errors.New("core: QCP bisection found no feasible clock period")
+	}
+	copy(cs.x, bestX)
+	r, err := cs.result(probes)
+	if err != nil {
+		return nil, err
+	}
+	if r.PredMCT > hi {
+		r.PredMCT = hi
+	}
+	r.Runtime = time.Since(start)
+	return r, nil
+}
+
+func minDelayDeltaFor(model *Model, opt Options, id int) float64 {
+	ds := tech.DoseSensitivity
+	v := model.A[id] * ds * opt.DoseHi
+	if opt.BothLayers {
+		v += model.B[id] * ds * opt.DoseLo
+	}
+	return math.Min(v, 0)
+}
+
+func finish(prob *problem, res *qp.Result, probes int, start time.Time) (*Result, error) {
+	layers := prob.extract(res.X)
+	predMCT, predLeak := prob.predict(layers)
+	nominal := Eval{MCTps: prob.golden.MCT, LeakUW: power.Total(prob.in.Masters, nil, nil)}
+	golden, err := signoff(prob.golden, prob.opt, layers)
+	if err != nil {
+		return nil, err
+	}
+	nArr := 0
+	for _, v := range prob.arrIdx {
+		if v >= 0 {
+			nArr++
+		}
+	}
+	return &Result{
+		Layers:          layers,
+		PredMCT:         predMCT,
+		PredDeltaLeakNW: predLeak,
+		Nominal:         nominal,
+		Golden:          golden,
+		Probes:          probes,
+		ArrivalVars:     nArr,
+		Rows:            prob.Rows,
+		Cols:            prob.nVar,
+		Status:          res.Status.String(),
+		Runtime:         time.Since(start),
+	}, nil
+}

@@ -1,0 +1,308 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/dosemap"
+	"repro/internal/netlist"
+	"repro/internal/power"
+	"repro/internal/sta"
+	"repro/internal/tech"
+)
+
+// DosePlOptions are the γ knobs of the cell-swapping heuristic
+// (Appendix, Algorithm 1), with the paper's experimental defaults.
+type DosePlOptions struct {
+	// K is the number of critical paths extracted per round (10 000).
+	K int
+	// Rounds is the number of swap-legalize-verify rounds (10).
+	Rounds int
+	// Gamma1 caps the number of swapped cells per critical path (1).
+	Gamma1 int
+	// Gamma2 is the swap distance threshold in gate pitches (footnote
+	// 10: "chosen proportionally to the gate pitch").
+	Gamma2 float64
+	// Gamma3 is the allowed fractional HPWL increase of each swapped
+	// cell's incident nets (0.20).
+	Gamma3 float64
+	// Gamma4 is the allowed fractional leakage increase of the swapped
+	// pair (0.10).
+	Gamma4 float64
+	// Gamma5 caps the number of swaps per round (1).
+	Gamma5 int
+	// MaxPathStates bounds path enumeration work.
+	MaxPathStates int
+}
+
+// DefaultDosePlOptions returns the paper's experiment configuration.
+func DefaultDosePlOptions() DosePlOptions {
+	return DosePlOptions{
+		K:             10000,
+		Rounds:        10,
+		Gamma1:        1,
+		Gamma2:        12,
+		Gamma3:        0.20,
+		Gamma4:        0.10,
+		Gamma5:        1,
+		MaxPathStates: 2_000_000,
+	}
+}
+
+// RoundLog records one dosePl round.
+type RoundLog struct {
+	Swaps    int
+	MCTps    float64
+	Accepted bool
+}
+
+// DosePlResult reports the heuristic's outcome.
+type DosePlResult struct {
+	Before, After Eval
+	Rounds        []RoundLog
+	SwapsAccepted int
+	SwapsTried    int
+}
+
+// DosePl runs the dose-map-aware placement optimization: it swaps
+// setup-critical cells into higher-dose grid regions (and non-critical
+// cells out), filtered by mutual bounding boxes, distance, HPWL and
+// leakage-increase checks, with legalization and golden-STA accept /
+// rollback per round.  The placement inside golden.In is mutated in
+// place when rounds are accepted.
+func DosePl(golden *sta.Result, layers dosemap.Layers, opt Options, dopt DosePlOptions) (*DosePlResult, error) {
+	in := golden.In
+	pl := in.Pl
+	circ := in.Circ
+	if layers.Poly == nil {
+		return nil, fmt.Errorf("core: dosePl needs a poly dose map")
+	}
+	res := &DosePlResult{}
+	evalNow := func() (Eval, *sta.Result, error) {
+		dL, dW := layers.PerGate(circ, pl, opt.Snap)
+		r, err := sta.Analyze(in, opt.STA, &sta.Perturb{DL: dL, DW: dW})
+		if err != nil {
+			return Eval{}, nil, err
+		}
+		return Eval{MCTps: r.MCT, LeakUW: power.Total(in.Masters, dL, dW)}, r, nil
+	}
+	before, cur, err := evalNow()
+	if err != nil {
+		return nil, err
+	}
+	res.Before = before
+	best := before
+
+	fixed := make([]bool, circ.NumGates())
+	gatePitch := pl.GatePitch()
+	maxDist := dopt.Gamma2 * gatePitch
+
+	for round := 0; round < dopt.Rounds; round++ {
+		// Snapshot for rollback.
+		snapX := append([]float64(nil), pl.X...)
+		snapY := append([]float64(nil), pl.Y...)
+		snapW := append([]float64(nil), pl.Width...)
+
+		paths := cur.TopPaths(dopt.K, dopt.MaxPathStates)
+		if len(paths) == 0 {
+			break
+		}
+		// Critical set and weights (Eq. 13): W(cell) = Σ exp(-slack(C)).
+		critical := make(map[int]bool)
+		weight := make(map[int]float64)
+		for _, p := range paths {
+			slackNs := p.Slack(cur.MCT) / 1000
+			w := math.Exp(-slackNs)
+			for _, id := range p.Nodes {
+				if in.Masters[id] == nil {
+					continue
+				}
+				critical[id] = true
+				weight[id] += w
+			}
+		}
+		// Cells per grid for candidate lookup.
+		grid := layers.Poly.Grid
+		cellsOf := make([][]int, grid.Cells())
+		for id := range circ.Gates {
+			if in.Masters[id] == nil {
+				continue
+			}
+			gi, gj := grid.Index(pl.X[id], pl.Y[id])
+			f := grid.Flat(gi, gj)
+			cellsOf[f] = append(cellsOf[f], id)
+		}
+
+		numSwaps := 0
+		swappedThisRound := make(map[int]bool)
+		swappedPerPath := make([]int, len(paths))
+		// Paths arrive most-critical first (non-increasing delay).
+		for pi, p := range paths {
+			if numSwaps >= dopt.Gamma5 {
+				break
+			}
+			if swappedPerPath[pi] >= dopt.Gamma1 {
+				continue
+			}
+			cells := cellsOnPath(in, p)
+			sort.SliceStable(cells, func(a, b int) bool {
+				return weight[cells[a]] > weight[cells[b]]
+			})
+			for _, cell := range cells {
+				if fixed[cell] || swappedThisRound[cell] {
+					continue
+				}
+				if trySwap(in, layers, grid, cellsOf, critical, fixed, swappedThisRound,
+					cell, maxDist, dopt, opt) {
+					numSwaps++
+					res.SwapsAccepted++ // provisional; may roll back below
+					swappedPerPath[pi]++
+					break
+				}
+				res.SwapsTried++
+			}
+		}
+		if numSwaps == 0 {
+			break // nothing swappable remains
+		}
+		// Legalize + "ECO route" (wire re-estimation happens inside the
+		// next golden analysis) + verify.
+		if _, err := pl.Legalize(); err != nil {
+			return nil, err
+		}
+		evalAfter, r2, err := evalNow()
+		if err != nil {
+			return nil, err
+		}
+		accepted := evalAfter.MCTps < best.MCTps
+		res.Rounds = append(res.Rounds, RoundLog{Swaps: numSwaps, MCTps: evalAfter.MCTps, Accepted: accepted})
+		if accepted {
+			best = evalAfter
+			cur = r2
+		} else {
+			copy(pl.X, snapX)
+			copy(pl.Y, snapY)
+			copy(pl.Width, snapW)
+			res.SwapsAccepted -= numSwaps
+			for id := range swappedThisRound {
+				fixed[id] = true // do not retry these cells
+			}
+		}
+	}
+	res.After = best
+	return res, nil
+}
+
+// cellsOnPath returns the path's swap candidates: placed cells only.
+func cellsOnPath(in sta.Input, p *sta.Path) []int {
+	var out []int
+	for _, id := range p.Nodes {
+		if in.Masters[id] != nil {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// trySwap attempts to find a partner for the critical cell per
+// Algorithm 1 lines 11-27; on success the placement is mutated.
+func trySwap(in sta.Input, layers dosemap.Layers, grid dosemap.Grid, cellsOf [][]int,
+	critical map[int]bool, fixed []bool, swapped map[int]bool,
+	cell int, maxDist float64, dopt DosePlOptions, opt Options) bool {
+
+	pl := in.Pl
+	poly := layers.Poly
+	bl := pl.BoundingBox(cell)
+	cellDose := poly.DoseAt(pl.X[cell], pl.Y[cell])
+
+	// Grids intersecting the bounding box, sorted by dose descending.
+	i0, j0 := grid.Index(bl.MinX, bl.MinY)
+	i1, j1 := grid.Index(bl.MaxX, bl.MaxY)
+	type gridDose struct {
+		flat int
+		dose float64
+	}
+	var regions []gridDose
+	for i := i0; i <= i1; i++ {
+		for j := j0; j <= j1; j++ {
+			f := grid.Flat(i, j)
+			regions = append(regions, gridDose{f, poly.D[f]})
+		}
+	}
+	sort.Slice(regions, func(a, b int) bool { return regions[a].dose > regions[b].dose })
+
+	for _, r := range regions {
+		if r.dose <= cellDose {
+			break // sorted: no better region follows (line 15)
+		}
+		// Non-critical candidate cells by distance (line 17).
+		var cands []int
+		for _, c := range cellsOf[r.flat] {
+			if c == cell || critical[c] || fixed[c] || swapped[c] {
+				continue
+			}
+			if in.Circ.Gates[c].Kind != netlist.Comb {
+				continue // keep registers anchored
+			}
+			cands = append(cands, c)
+		}
+		sort.Slice(cands, func(a, b int) bool {
+			return pl.Dist(cell, cands[a]) < pl.Dist(cell, cands[b])
+		})
+		for _, cand := range cands {
+			if pl.Dist(cell, cand) > maxDist {
+				break // sorted by distance (line 19)
+			}
+			// Mutual bounding-box membership (line 20).
+			bm := pl.BoundingBox(cand)
+			if !bm.Contains(pl.X[cell], pl.Y[cell]) || !bl.Contains(pl.X[cand], pl.Y[cand]) {
+				continue
+			}
+			// HPWL filter: estimated incident-net wirelength increase of
+			// each swapped cell below γ3.
+			h1 := pl.IncidentHPWL(cell)
+			h2 := pl.IncidentHPWL(cand)
+			pl.Swap(cell, cand)
+			n1 := pl.IncidentHPWL(cell)
+			n2 := pl.IncidentHPWL(cand)
+			hpwlOK := n1 <= h1*(1+dopt.Gamma3)+1e-9 && n2 <= h2*(1+dopt.Gamma3)+1e-9
+			// Leakage filter (line 20, ΔLeak < γ4·Leak): evaluate the
+			// pair's leakage at the doses of the exchanged locations.
+			leakOK := true
+			if hpwlOK {
+				leakBefore := pairLeak(in, layers, cand, cell) // post-swap positions: cand now at cell's old spot
+				// Undo to measure the before value cleanly.
+				pl.Swap(cell, cand)
+				before := pairLeak(in, layers, cell, cand)
+				pl.Swap(cell, cand)
+				leakOK = leakBefore <= before*(1+dopt.Gamma4)
+			}
+			if hpwlOK && leakOK {
+				swapped[cell] = true
+				swapped[cand] = true
+				return true
+			}
+			pl.Swap(cell, cand) // revert
+		}
+	}
+	return false
+}
+
+// pairLeak returns the summed leakage in nW of two cells at their
+// current locations' doses.
+func pairLeak(in sta.Input, layers dosemap.Layers, a, b int) float64 {
+	leakAt := func(id int) float64 {
+		m := in.Masters[id]
+		if m == nil {
+			return 0
+		}
+		dl := tech.DoseToLength(layers.Poly.DoseAt(in.Pl.X[id], in.Pl.Y[id]))
+		dw := 0.0
+		if layers.Active != nil {
+			dw = tech.DoseToWidth(layers.Active.DoseAt(in.Pl.X[id], in.Pl.Y[id]))
+		}
+		return m.Leakage(dl, dw)
+	}
+	return leakAt(a) + leakAt(b)
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/gen"
+	"repro/internal/power"
+	"repro/internal/sta"
+	"repro/internal/tech"
+)
+
+// Mode selects which DMopt formulation the flow runs.
+type Mode int
+
+const (
+	// ModeQPLeakage minimizes leakage under a timing constraint
+	// (Section III QP).
+	ModeQPLeakage Mode = iota
+	// ModeQCPTiming minimizes the clock period under a leakage
+	// constraint (Section III QCP).
+	ModeQCPTiming
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeQPLeakage:
+		return "QP"
+	case ModeQCPTiming:
+		return "QCP"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// FlowConfig drives the end-to-end optimization flow of Fig. 7.
+type FlowConfig struct {
+	Opt Options
+	// Mode picks the formulation.
+	Mode Mode
+	// TauPs is the QP clock-period bound; 0 means the design's nominal
+	// MCT ("improve leakage without degrading timing").
+	TauPs float64
+	// RunDosePl appends the dose-map-aware placement rounds.
+	RunDosePl bool
+	DosePl    DosePlOptions
+}
+
+// FlowOutcome bundles everything the flow produced.
+type FlowOutcome struct {
+	Golden *sta.Result // nominal golden analysis (pre-optimization)
+	Model  *Model
+	DM     *Result
+	DosePl *DosePlResult // nil unless requested
+	// Final is the last signoff: after DMopt, or after dosePl when run.
+	Final Eval
+}
+
+// InputOf adapts a generated design to the STA view.
+func InputOf(d *gen.Design) sta.Input {
+	return sta.Input{Circ: d.Circ, Masters: d.Masters, Pl: d.Pl, Node: d.Node}
+}
+
+// GoldenNominal analyzes the unoptimized design.
+func GoldenNominal(d *gen.Design, cfg sta.Config) (*sta.Result, error) {
+	return sta.Analyze(InputOf(d), cfg, nil)
+}
+
+// Run executes the Fig. 7 flow: golden analysis → coefficient fitting →
+// DMopt → golden signoff → optional dosePl rounds.
+func Run(d *gen.Design, cfg FlowConfig) (*FlowOutcome, error) {
+	golden, err := GoldenNominal(d, cfg.Opt.STA)
+	if err != nil {
+		return nil, err
+	}
+	model, err := FitModel(golden, cfg.Opt.BothLayers)
+	if err != nil {
+		return nil, err
+	}
+	var dm *Result
+	switch cfg.Mode {
+	case ModeQPLeakage:
+		tau := cfg.TauPs
+		if tau <= 0 {
+			tau = golden.MCT
+		}
+		dm, err = DMoptQP(golden, model, cfg.Opt, tau)
+	case ModeQCPTiming:
+		dm, err = DMoptQCP(golden, model, cfg.Opt)
+	default:
+		err = fmt.Errorf("core: unknown flow mode %v", cfg.Mode)
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := &FlowOutcome{Golden: golden, Model: model, DM: dm, Final: dm.Golden}
+	if cfg.RunDosePl {
+		dp, err := DosePl(golden, dm.Layers, cfg.Opt, cfg.DosePl)
+		if err != nil {
+			return nil, err
+		}
+		out.DosePl = dp
+		out.Final = dp.After
+	}
+	return out, nil
+}
+
+// BiasPerturb builds the Fig. 10 "Bias" reference design: every gate on
+// the top-K critical paths receives the maximum possible exposure dose
+// (+5%, i.e. ΔL = -10 nm), showing the optimization headroom left after
+// the smoothness- and leakage-constrained DMopt.
+func BiasPerturb(golden *sta.Result, k, maxStates int, doseHi float64) *sta.Perturb {
+	in := golden.In
+	n := in.Circ.NumGates()
+	dl := make([]float64, n)
+	for _, p := range golden.TopPaths(k, maxStates) {
+		for _, id := range p.Nodes {
+			if in.Masters[id] != nil {
+				dl[id] = tech.DoseToLength(doseHi)
+			}
+		}
+	}
+	return &sta.Perturb{DL: dl}
+}
+
+// PathSlackProfile returns the sorted (ascending) slacks in ps of the
+// top-K paths of the analysis at clock period T — the Fig. 10 y-axis.
+func PathSlackProfile(r *sta.Result, k, maxStates int, period float64) []float64 {
+	paths := r.TopPaths(k, maxStates)
+	out := make([]float64, len(paths))
+	for i, p := range paths {
+		out[i] = p.Slack(period)
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// EvalPerturb runs golden STA + power on an arbitrary perturbation and
+// returns the signoff snapshot (used by the uniform-dose sweep tables).
+func EvalPerturb(in sta.Input, cfg sta.Config, pert *sta.Perturb) (Eval, *sta.Result, error) {
+	r, err := sta.Analyze(in, cfg, pert)
+	if err != nil {
+		return Eval{}, nil, err
+	}
+	var dl, dw []float64
+	if pert != nil {
+		dl, dw = pert.DL, pert.DW
+	}
+	return Eval{MCTps: r.MCT, LeakUW: power.Total(in.Masters, dl, dw)}, r, nil
+}

@@ -1,0 +1,266 @@
+// Package fit provides the least-squares curve-fitting substrate used to
+// calibrate the optimizer's delay and leakage models from characterized
+// cell-library tables, mirroring the paper's "Liberty processing and curve
+// fitting tool" (Section II-C).
+//
+// Three fits are needed by the flow:
+//
+//   - a linear fit of cell delay against gate-length and gate-width change
+//     (coefficients Ap, Bp in the paper),
+//   - a quadratic fit of cell leakage against gate-length change plus a
+//     linear gate-width term (coefficients αp, βp, γp, Eq. 2),
+//   - general polynomial fits used by the dose-recipe decomposition.
+//
+// All solvers are dense normal-equation or QR-based ordinary least squares;
+// problem sizes here are tiny (tens of samples, ≤9 unknowns).
+package fit
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when the design matrix is rank-deficient.
+var ErrSingular = errors.New("fit: singular system")
+
+// Solve solves the dense linear system A·x = b by Gaussian elimination
+// with partial pivoting.  A is row-major with dimensions n×n and is
+// overwritten.  It returns ErrSingular when a pivot underflows.
+func Solve(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	if n == 0 || len(b) != n {
+		return nil, fmt.Errorf("fit: bad system dimensions %d×? vs %d", n, len(b))
+	}
+	x := make([]float64, n)
+	copy(x, b)
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		p := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[p][col]) {
+				p = r
+			}
+		}
+		if math.Abs(a[p][col]) < 1e-14 {
+			return nil, ErrSingular
+		}
+		a[col], a[p] = a[p], a[col]
+		x[col], x[p] = x[p], x[col]
+		inv := 1 / a[col][col]
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			x[r] -= f * x[col]
+		}
+	}
+	for r := n - 1; r >= 0; r-- {
+		s := x[r]
+		for c := r + 1; c < n; c++ {
+			s -= a[r][c] * x[c]
+		}
+		x[r] = s / a[r][r]
+	}
+	return x, nil
+}
+
+// LeastSquares solves min‖X·β − y‖² for β given the design matrix X
+// (rows = samples, columns = features) via the normal equations XᵀXβ=Xᵀy.
+func LeastSquares(x [][]float64, y []float64) ([]float64, error) {
+	m := len(x)
+	if m == 0 {
+		return nil, errors.New("fit: no samples")
+	}
+	n := len(x[0])
+	if m < n {
+		return nil, fmt.Errorf("fit: underdetermined system: %d samples, %d unknowns", m, n)
+	}
+	if len(y) != m {
+		return nil, fmt.Errorf("fit: %d samples but %d observations", m, len(y))
+	}
+	xtx := make([][]float64, n)
+	for i := range xtx {
+		xtx[i] = make([]float64, n)
+	}
+	xty := make([]float64, n)
+	for s := 0; s < m; s++ {
+		row := x[s]
+		if len(row) != n {
+			return nil, fmt.Errorf("fit: ragged design matrix at row %d", s)
+		}
+		for i := 0; i < n; i++ {
+			xty[i] += row[i] * y[s]
+			for j := i; j < n; j++ {
+				xtx[i][j] += row[i] * row[j]
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < i; j++ {
+			xtx[i][j] = xtx[j][i]
+		}
+	}
+	return Solve(xtx, xty)
+}
+
+// Residual returns the sum of squared residuals ‖X·β − y‖² — the quantity
+// the paper reports when comparing single-variable against two-variable
+// fits (0.0005 vs 0.0101, Section V).
+func Residual(x [][]float64, y, beta []float64) float64 {
+	var ssr float64
+	for s := range x {
+		pred := 0.0
+		for j, b := range beta {
+			pred += x[s][j] * b
+		}
+		r := pred - y[s]
+		ssr += r * r
+	}
+	return ssr
+}
+
+// Polyfit fits y ≈ Σ_{k=0..degree} c_k·t^k and returns the coefficients
+// c_0..c_degree.
+func Polyfit(t, y []float64, degree int) ([]float64, error) {
+	if degree < 0 {
+		return nil, errors.New("fit: negative degree")
+	}
+	if len(t) != len(y) {
+		return nil, fmt.Errorf("fit: %d abscissae but %d ordinates", len(t), len(y))
+	}
+	x := make([][]float64, len(t))
+	for s, tv := range t {
+		row := make([]float64, degree+1)
+		p := 1.0
+		for k := 0; k <= degree; k++ {
+			row[k] = p
+			p *= tv
+		}
+		x[s] = row
+	}
+	return LeastSquares(x, y)
+}
+
+// PolyEval evaluates a polynomial with coefficients c (c[0] constant term)
+// at t using Horner's rule.
+func PolyEval(c []float64, t float64) float64 {
+	v := 0.0
+	for k := len(c) - 1; k >= 0; k-- {
+		v = v*t + c[k]
+	}
+	return v
+}
+
+// DelayCoeffs holds the fitted linear delay model of one cell arc:
+//
+//	Δdelay ≈ A·ΔL + B·ΔW    (ps, with ΔL, ΔW in nm)
+//
+// A is positive (delay grows with gate length); B is negative (delay
+// shrinks as the transistor widens).  These are the paper's Ap and Bp.
+type DelayCoeffs struct {
+	A, B float64
+	// SSR is the sum of squared residuals of the fit, normalized by the
+	// squared nominal delay so values are comparable across cells.
+	SSR float64
+}
+
+// FitDelay fits DelayCoeffs from samples of (ΔL, ΔW, Δdelay).  nominal is
+// the unperturbed delay used to normalize SSR; pass 0 to skip
+// normalization.
+func FitDelay(dL, dW, dDelay []float64, nominal float64) (DelayCoeffs, error) {
+	if len(dL) != len(dW) || len(dL) != len(dDelay) {
+		return DelayCoeffs{}, errors.New("fit: delay sample length mismatch")
+	}
+	x := make([][]float64, len(dL))
+	for i := range dL {
+		x[i] = []float64{dL[i], dW[i]}
+	}
+	beta, err := LeastSquares(x, dDelay)
+	if err != nil {
+		return DelayCoeffs{}, err
+	}
+	ssr := Residual(x, dDelay, beta)
+	if nominal != 0 {
+		ssr /= nominal * nominal
+	}
+	return DelayCoeffs{A: beta[0], B: beta[1], SSR: ssr}, nil
+}
+
+// FitDelayL fits only the gate-length coefficient A from (ΔL, Δdelay)
+// samples, for poly-layer-only optimization.
+func FitDelayL(dL, dDelay []float64, nominal float64) (DelayCoeffs, error) {
+	if len(dL) != len(dDelay) {
+		return DelayCoeffs{}, errors.New("fit: delay sample length mismatch")
+	}
+	x := make([][]float64, len(dL))
+	for i := range dL {
+		x[i] = []float64{dL[i]}
+	}
+	beta, err := LeastSquares(x, dDelay)
+	if err != nil {
+		return DelayCoeffs{}, err
+	}
+	ssr := Residual(x, dDelay, beta)
+	if nominal != 0 {
+		ssr /= nominal * nominal
+	}
+	return DelayCoeffs{A: beta[0], SSR: ssr}, nil
+}
+
+// LeakCoeffs holds the fitted leakage model of one cell (Eq. 2):
+//
+//	Δleakage ≈ α·(ΔL)² + β·ΔL + γ·ΔW    (nW, with ΔL, ΔW in nm)
+//
+// α is positive (the exponential is convex), β negative (longer gate
+// leaks less), γ positive (wider device leaks more).  These are the
+// paper's αp, βp, γp.
+type LeakCoeffs struct {
+	Alpha, Beta, Gamma float64
+	SSR                float64
+}
+
+// FitLeak fits LeakCoeffs from samples of (ΔL, ΔW, Δleakage).
+func FitLeak(dL, dW, dLeak []float64, nominal float64) (LeakCoeffs, error) {
+	if len(dL) != len(dW) || len(dL) != len(dLeak) {
+		return LeakCoeffs{}, errors.New("fit: leakage sample length mismatch")
+	}
+	x := make([][]float64, len(dL))
+	for i := range dL {
+		x[i] = []float64{dL[i] * dL[i], dL[i], dW[i]}
+	}
+	beta, err := LeastSquares(x, dLeak)
+	if err != nil {
+		return LeakCoeffs{}, err
+	}
+	ssr := Residual(x, dLeak, beta)
+	if nominal != 0 {
+		ssr /= nominal * nominal
+	}
+	return LeakCoeffs{Alpha: beta[0], Beta: beta[1], Gamma: beta[2], SSR: ssr}, nil
+}
+
+// FitLeakL fits only the gate-length terms (α, β) from (ΔL, Δleakage)
+// samples, for poly-layer-only optimization.
+func FitLeakL(dL, dLeak []float64, nominal float64) (LeakCoeffs, error) {
+	if len(dL) != len(dLeak) {
+		return LeakCoeffs{}, errors.New("fit: leakage sample length mismatch")
+	}
+	x := make([][]float64, len(dL))
+	for i := range dL {
+		x[i] = []float64{dL[i] * dL[i], dL[i]}
+	}
+	beta, err := LeastSquares(x, dLeak)
+	if err != nil {
+		return LeakCoeffs{}, err
+	}
+	ssr := Residual(x, dLeak, beta)
+	if nominal != 0 {
+		ssr /= nominal * nominal
+	}
+	return LeakCoeffs{Alpha: beta[0], Beta: beta[1], SSR: ssr}, nil
+}

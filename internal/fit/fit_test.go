@@ -1,0 +1,318 @@
+package fit
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSolveIdentity(t *testing.T) {
+	a := [][]float64{{1, 0}, {0, 1}}
+	x, err := Solve(a, []float64{3, -4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x[0] != 3 || x[1] != -4 {
+		t.Errorf("Solve identity = %v", x)
+	}
+}
+
+func TestSolveKnown(t *testing.T) {
+	// 2x + y = 5; x - y = 1  →  x = 2, y = 1
+	a := [][]float64{{2, 1}, {1, -1}}
+	x, err := Solve(a, []float64{5, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-2) > 1e-12 || math.Abs(x[1]-1) > 1e-12 {
+		t.Errorf("Solve = %v, want [2 1]", x)
+	}
+}
+
+func TestSolveNeedsPivoting(t *testing.T) {
+	// Zero pivot in position (0,0) requires a row swap.
+	a := [][]float64{{0, 1}, {1, 0}}
+	x, err := Solve(a, []float64{7, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-9) > 1e-12 || math.Abs(x[1]-7) > 1e-12 {
+		t.Errorf("Solve = %v, want [9 7]", x)
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	a := [][]float64{{1, 2}, {2, 4}}
+	if _, err := Solve(a, []float64{1, 2}); err == nil {
+		t.Error("expected ErrSingular")
+	}
+}
+
+func TestSolveDimensionMismatch(t *testing.T) {
+	if _, err := Solve([][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Error("expected dimension error")
+	}
+	if _, err := Solve(nil, nil); err == nil {
+		t.Error("expected empty-system error")
+	}
+}
+
+func TestLeastSquaresExact(t *testing.T) {
+	// Overdetermined but consistent: y = 2·x1 - 3·x2.
+	x := [][]float64{{1, 0}, {0, 1}, {1, 1}, {2, 1}}
+	y := []float64{2, -3, -1, 1}
+	beta, err := LeastSquares(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(beta[0]-2) > 1e-10 || math.Abs(beta[1]+3) > 1e-10 {
+		t.Errorf("beta = %v, want [2 -3]", beta)
+	}
+	if ssr := Residual(x, y, beta); ssr > 1e-18 {
+		t.Errorf("SSR = %v, want 0", ssr)
+	}
+}
+
+func TestLeastSquaresNoisy(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 200; i++ {
+		a := rng.Float64()*4 - 2
+		b := rng.Float64()*4 - 2
+		xs = append(xs, []float64{a, b, 1})
+		ys = append(ys, 1.5*a-0.7*b+0.3+0.01*rng.NormFloat64())
+	}
+	beta, err := LeastSquares(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1.5, -0.7, 0.3}
+	for i := range want {
+		if math.Abs(beta[i]-want[i]) > 0.01 {
+			t.Errorf("beta[%d] = %v, want %v", i, beta[i], want[i])
+		}
+	}
+}
+
+func TestLeastSquaresErrors(t *testing.T) {
+	if _, err := LeastSquares(nil, nil); err == nil {
+		t.Error("expected error for no samples")
+	}
+	if _, err := LeastSquares([][]float64{{1, 2}}, []float64{1}); err == nil {
+		t.Error("expected error for underdetermined system")
+	}
+	if _, err := LeastSquares([][]float64{{1}, {2}}, []float64{1}); err == nil {
+		t.Error("expected error for observation mismatch")
+	}
+	if _, err := LeastSquares([][]float64{{1, 2}, {3}}, []float64{1, 2}); err == nil {
+		t.Error("expected error for ragged matrix")
+	}
+}
+
+func TestPolyfitExact(t *testing.T) {
+	// y = 1 - 2t + 0.5t²
+	want := []float64{1, -2, 0.5}
+	var ts, ys []float64
+	for i := -5; i <= 5; i++ {
+		tv := float64(i)
+		ts = append(ts, tv)
+		ys = append(ys, PolyEval(want, tv))
+	}
+	c, err := Polyfit(ts, ys, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Abs(c[i]-want[i]) > 1e-9 {
+			t.Errorf("c[%d] = %v, want %v", i, c[i], want[i])
+		}
+	}
+}
+
+func TestPolyfitErrors(t *testing.T) {
+	if _, err := Polyfit([]float64{1}, []float64{1, 2}, 1); err == nil {
+		t.Error("expected length mismatch error")
+	}
+	if _, err := Polyfit([]float64{1}, []float64{1}, -1); err == nil {
+		t.Error("expected degree error")
+	}
+}
+
+func TestPolyEvalHorner(t *testing.T) {
+	c := []float64{3, 0, 2} // 3 + 2t²
+	if got := PolyEval(c, 2); got != 11 {
+		t.Errorf("PolyEval = %v, want 11", got)
+	}
+	if got := PolyEval(nil, 5); got != 0 {
+		t.Errorf("PolyEval(nil) = %v, want 0", got)
+	}
+}
+
+func TestFitDelayRecoversPlane(t *testing.T) {
+	// Synthetic cell: Δdelay = 0.9·ΔL - 0.12·ΔW exactly.
+	var dL, dW, dd []float64
+	for l := -10.0; l <= 10; l += 2 {
+		for w := -10.0; w <= 10; w += 5 {
+			dL = append(dL, l)
+			dW = append(dW, w)
+			dd = append(dd, 0.9*l-0.12*w)
+		}
+	}
+	c, err := FitDelay(dL, dW, dd, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c.A-0.9) > 1e-9 || math.Abs(c.B+0.12) > 1e-9 {
+		t.Errorf("FitDelay = %+v, want A=0.9 B=-0.12", c)
+	}
+	if c.SSR > 1e-15 {
+		t.Errorf("SSR = %v, want ~0", c.SSR)
+	}
+}
+
+func TestFitDelayLOnly(t *testing.T) {
+	var dL, dd []float64
+	for l := -10.0; l <= 10; l++ {
+		dL = append(dL, l)
+		dd = append(dd, 1.1*l)
+	}
+	c, err := FitDelayL(dL, dd, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c.A-1.1) > 1e-9 || c.B != 0 {
+		t.Errorf("FitDelayL = %+v", c)
+	}
+}
+
+func TestFitLeakRecoversQuadratic(t *testing.T) {
+	// Δleak = 0.05·ΔL² - 1.3·ΔL + 0.02·ΔW exactly.
+	var dL, dW, dk []float64
+	for l := -10.0; l <= 10; l += 2 {
+		for w := -10.0; w <= 10; w += 5 {
+			dL = append(dL, l)
+			dW = append(dW, w)
+			dk = append(dk, 0.05*l*l-1.3*l+0.02*w)
+		}
+	}
+	c, err := FitLeak(dL, dW, dk, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c.Alpha-0.05) > 1e-9 || math.Abs(c.Beta+1.3) > 1e-9 || math.Abs(c.Gamma-0.02) > 1e-9 {
+		t.Errorf("FitLeak = %+v", c)
+	}
+}
+
+// TestFitLeakOnExponential exercises the fit the flow actually performs:
+// a quadratic approximation of an exponential leakage curve.  The fitted
+// curvature must be positive and the slope negative, and the quadratic
+// must track the exponential within a few percent over the dose range.
+func TestFitLeakOnExponential(t *testing.T) {
+	k := 0.1416
+	leak := func(dl float64) float64 { return 0.4965*math.Exp(-k*dl) + 0.5035 }
+	var dL, dk []float64
+	for l := -10.0; l <= 10; l += 0.5 {
+		dL = append(dL, l)
+		dk = append(dk, leak(l)-leak(0))
+	}
+	c, err := FitLeakL(dL, dk, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Alpha <= 0 {
+		t.Errorf("Alpha = %v, want > 0 (convex)", c.Alpha)
+	}
+	if c.Beta >= 0 {
+		t.Errorf("Beta = %v, want < 0", c.Beta)
+	}
+	for l := -10.0; l <= 10; l += 2.5 {
+		pred := c.Alpha*l*l + c.Beta*l
+		truth := leak(l) - leak(0)
+		if math.Abs(pred-truth) > 0.15 {
+			t.Errorf("quadratic approx off at ΔL=%v: pred %v vs %v", l, pred, truth)
+		}
+	}
+}
+
+func TestFitSampleMismatches(t *testing.T) {
+	if _, err := FitDelay([]float64{1}, []float64{1, 2}, []float64{1}, 0); err == nil {
+		t.Error("FitDelay: expected mismatch error")
+	}
+	if _, err := FitDelayL([]float64{1}, []float64{1, 2}, 0); err == nil {
+		t.Error("FitDelayL: expected mismatch error")
+	}
+	if _, err := FitLeak([]float64{1}, []float64{1}, []float64{1, 2}, 0); err == nil {
+		t.Error("FitLeak: expected mismatch error")
+	}
+	if _, err := FitLeakL([]float64{1}, []float64{1, 2}, 0); err == nil {
+		t.Error("FitLeakL: expected mismatch error")
+	}
+}
+
+// Property: Solve(A, A·x) recovers x for random well-conditioned systems.
+func TestPropertySolveRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed ^ rng.Int63()))
+		n := 1 + r.Intn(6)
+		a := make([][]float64, n)
+		x := make([]float64, n)
+		for i := range a {
+			a[i] = make([]float64, n)
+			for j := range a[i] {
+				a[i][j] = r.NormFloat64()
+			}
+			a[i][i] += float64(n) + 1 // diagonal dominance → well-conditioned
+			x[i] = r.NormFloat64()
+		}
+		b := make([]float64, n)
+		for i := range b {
+			for j := range x {
+				b[i] += a[i][j] * x[j]
+			}
+		}
+		got, err := Solve(a, b)
+		if err != nil {
+			return false
+		}
+		for i := range x {
+			if math.Abs(got[i]-x[i]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: least-squares residual is never larger than the residual of
+// the zero vector (β = 0), i.e. fitting can only help.
+func TestPropertyLeastSquaresOptimal(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m, n := 8+r.Intn(10), 1+r.Intn(4)
+		x := make([][]float64, m)
+		y := make([]float64, m)
+		for i := range x {
+			x[i] = make([]float64, n)
+			for j := range x[i] {
+				x[i][j] = r.NormFloat64()
+			}
+			y[i] = r.NormFloat64()
+		}
+		beta, err := LeastSquares(x, y)
+		if err != nil {
+			return true // singular random draw; skip
+		}
+		zero := make([]float64, n)
+		return Residual(x, y, beta) <= Residual(x, y, zero)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,639 @@
+package qp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Status reports how a solve terminated.
+type Status int
+
+const (
+	// Solved means both primal and dual residuals met tolerance.
+	Solved Status = iota
+	// MaxIterations means the iteration budget expired first; the best
+	// iterate so far is returned and may still be usable.
+	MaxIterations
+	// PrimalInfeasible means a certificate of primal infeasibility was
+	// detected (the constraints admit no solution).
+	PrimalInfeasible
+)
+
+func (s Status) String() string {
+	switch s {
+	case Solved:
+		return "solved"
+	case MaxIterations:
+		return "max-iterations"
+	case PrimalInfeasible:
+		return "primal-infeasible"
+	}
+	return fmt.Sprintf("status(%d)", int(s))
+}
+
+// Problem is a convex quadratic program
+//
+//	minimize   ½ xᵀPx + qᵀx
+//	subject to l ≤ Ax ≤ u .
+//
+// P must be symmetric positive semidefinite (nil means zero, i.e. an LP).
+// Equality constraints are expressed with l[i] == u[i].
+type Problem struct {
+	P    *CSR
+	Q    []float64
+	A    *CSR
+	L, U []float64
+}
+
+// Validate checks dimensional consistency.
+func (p *Problem) Validate() error {
+	n := len(p.Q)
+	if n == 0 {
+		return errors.New("qp: empty objective")
+	}
+	if p.P != nil && (p.P.M != n || p.P.N != n) {
+		return fmt.Errorf("qp: P is %d×%d, want %d×%d", p.P.M, p.P.N, n, n)
+	}
+	if p.A == nil {
+		if len(p.L) != 0 || len(p.U) != 0 {
+			return errors.New("qp: bounds without constraint matrix")
+		}
+		return nil
+	}
+	if p.A.N != n {
+		return fmt.Errorf("qp: A has %d columns, want %d", p.A.N, n)
+	}
+	if len(p.L) != p.A.M || len(p.U) != p.A.M {
+		return fmt.Errorf("qp: bounds length %d/%d, want %d", len(p.L), len(p.U), p.A.M)
+	}
+	for i := range p.L {
+		if p.L[i] > p.U[i] {
+			return fmt.Errorf("qp: constraint %d has l > u (%g > %g)", i, p.L[i], p.U[i])
+		}
+	}
+	return nil
+}
+
+// Objective evaluates ½ xᵀPx + qᵀx.
+func (p *Problem) Objective(x []float64) float64 {
+	obj := Dot(p.Q, x)
+	if p.P != nil {
+		px := make([]float64, len(x))
+		p.P.MulVec(px, x)
+		obj += 0.5 * Dot(x, px)
+	}
+	return obj
+}
+
+// MaxViolation returns the largest constraint violation of x.
+func (p *Problem) MaxViolation(x []float64) float64 {
+	if p.A == nil {
+		return 0
+	}
+	ax := make([]float64, p.A.M)
+	p.A.MulVec(ax, x)
+	v := 0.0
+	for i := range ax {
+		if d := p.L[i] - ax[i]; d > v {
+			v = d
+		}
+		if d := ax[i] - p.U[i]; d > v {
+			v = d
+		}
+	}
+	return v
+}
+
+// Settings tunes the ADMM solver.  The zero value is not usable; start
+// from DefaultSettings.
+type Settings struct {
+	MaxIter     int
+	EpsAbs      float64
+	EpsRel      float64
+	Rho         float64 // initial ADMM step size
+	Sigma       float64 // x-regularization
+	Alpha       float64 // over-relaxation in (0, 2)
+	AdaptiveRho bool
+	CheckEvery  int // residual/infeasibility check interval
+	ScaleIters  int // Ruiz equilibration iterations (0 disables scaling)
+	CGTol       float64
+	CGMaxIter   int
+	// TimeLimitIter aborts CG-heavy stalls; 0 means no extra bound.
+	EpsInfeas float64
+}
+
+// DefaultSettings returns the settings used across the flow.
+func DefaultSettings() Settings {
+	return Settings{
+		MaxIter:     20000,
+		EpsAbs:      1e-4,
+		EpsRel:      1e-4,
+		Rho:         0.1,
+		Sigma:       1e-6,
+		Alpha:       1.6,
+		AdaptiveRho: true,
+		CheckEvery:  25,
+		ScaleIters:  10,
+		CGTol:       1e-7,
+		CGMaxIter:   500,
+		EpsInfeas:   1e-5,
+	}
+}
+
+// Result carries the outcome of a solve.
+type Result struct {
+	Status   Status
+	X        []float64 // primal solution
+	Y        []float64 // dual multipliers of l ≤ Ax ≤ u
+	Obj      float64
+	Iters    int
+	PrimRes  float64
+	DualRes  float64
+	CGIters  int // cumulative inner CG iterations
+	RhoFinal float64
+}
+
+// Solver holds problem data in scaled form plus iterate state, so a
+// sequence of related solves (the QCP bisection) can warm-start.
+type Solver struct {
+	set Settings
+
+	n, m int
+	// Scaled copies.
+	p      *CSR
+	q      []float64
+	a      *CSR
+	l, u   []float64
+	d, e   []float64 // column / row equilibration scalings
+	cinv   float64   // inverse cost scaling
+	diagP  []float64
+	diagTA []float64
+
+	// Iterates (scaled space).
+	x, y, z                   []float64
+	xt, zt                    []float64
+	rhs, tmp                  []float64
+	cgR, cgZ, cgP, cgAp, cgAx []float64
+
+	rho float64
+
+	orig *Problem
+}
+
+// NewSolver prepares a solver for the given problem.  The problem data is
+// copied; later mutations of prob do not affect the solver.
+func NewSolver(prob *Problem, set Settings) (*Solver, error) {
+	if err := prob.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(prob.Q)
+	m := 0
+	if prob.A != nil {
+		m = prob.A.M
+	}
+	s := &Solver{set: set, n: n, m: m, orig: prob, rho: set.Rho, cinv: 1}
+	s.q = append([]float64(nil), prob.Q...)
+	if prob.P != nil {
+		s.p = prob.P.Clone()
+	}
+	if prob.A != nil {
+		s.a = prob.A.Clone()
+		s.l = append([]float64(nil), prob.L...)
+		s.u = append([]float64(nil), prob.U...)
+	} else {
+		s.a = (&Triplet{m: 0, n: n}).Compile()
+		s.l = nil
+		s.u = nil
+	}
+	s.d = make([]float64, n)
+	s.e = make([]float64, m)
+	for i := range s.d {
+		s.d[i] = 1
+	}
+	for i := range s.e {
+		s.e[i] = 1
+	}
+	s.equilibrate()
+	s.diagP = diagOf(s.p, n)
+	s.diagTA = s.a.DiagATA()
+	s.x = make([]float64, n)
+	s.y = make([]float64, m)
+	s.z = make([]float64, m)
+	s.xt = make([]float64, n)
+	s.zt = make([]float64, m)
+	s.rhs = make([]float64, n)
+	s.tmp = make([]float64, m)
+	s.cgR = make([]float64, n)
+	s.cgZ = make([]float64, n)
+	s.cgP = make([]float64, n)
+	s.cgAp = make([]float64, n)
+	s.cgAx = make([]float64, m)
+	return s, nil
+}
+
+func diagOf(p *CSR, n int) []float64 {
+	d := make([]float64, n)
+	if p == nil {
+		return d
+	}
+	for r := 0; r < p.M; r++ {
+		for k := p.RowPtr[r]; k < p.RowPtr[r+1]; k++ {
+			if p.Col[k] == r {
+				d[r] += p.Val[k]
+			}
+		}
+	}
+	return d
+}
+
+// equilibrate applies modified Ruiz equilibration to the stacked matrix
+// [P; A] (columns) and A (rows), plus a scalar cost scaling, following
+// the OSQP paper.  Badly mixed scales — dose percentages (≈ ±5) against
+// arrival times (≈ thousands of ps) — make this essential.
+func (s *Solver) equilibrate() {
+	if s.set.ScaleIters <= 0 {
+		return
+	}
+	n, m := s.n, s.m
+	for it := 0; it < s.set.ScaleIters; it++ {
+		colA := s.a.ColInfNorms()
+		var colP []float64
+		if s.p != nil {
+			colP = s.p.ColInfNorms()
+		}
+		dd := make([]float64, n)
+		for j := 0; j < n; j++ {
+			norm := colA[j]
+			if colP != nil && colP[j] > norm {
+				norm = colP[j]
+			}
+			dd[j] = invSqrtSafe(norm)
+		}
+		ee := make([]float64, m)
+		rowA := s.a.RowInfNorms()
+		for i := 0; i < m; i++ {
+			ee[i] = invSqrtSafe(rowA[i])
+		}
+		// Apply: P ← D P D, q ← D q, A ← E A D, l/u ← E l/u.
+		if s.p != nil {
+			s.p.ScaleRows(dd)
+			s.p.ScaleCols(dd)
+		}
+		for j := 0; j < n; j++ {
+			s.q[j] *= dd[j]
+			s.d[j] *= dd[j]
+		}
+		s.a.ScaleCols(dd)
+		s.a.ScaleRows(ee)
+		for i := 0; i < m; i++ {
+			s.l[i] *= ee[i]
+			s.u[i] *= ee[i]
+			s.e[i] *= ee[i]
+		}
+	}
+	// Cost scaling: normalize the gradient magnitude.
+	g := InfNorm(s.q)
+	if s.p != nil {
+		cols := s.p.ColInfNorms()
+		mean := 0.0
+		for _, v := range cols {
+			mean += v
+		}
+		if len(cols) > 0 {
+			mean /= float64(len(cols))
+		}
+		if mean > g {
+			g = mean
+		}
+	}
+	if g > 0 && !math.IsInf(g, 0) {
+		c := 1 / g
+		if s.p != nil {
+			Scale(s.p.Val, c)
+		}
+		Scale(s.q, c)
+		s.cinv = g
+	}
+}
+
+func invSqrtSafe(v float64) float64 {
+	if v <= 1e-12 || math.IsInf(v, 0) {
+		return 1
+	}
+	r := 1 / math.Sqrt(v)
+	// Clamp extreme scalings for numerical sanity.
+	if r > 1e6 {
+		r = 1e6
+	}
+	if r < 1e-6 {
+		r = 1e-6
+	}
+	return r
+}
+
+// WarmStart seeds the next Solve with an unscaled primal (and optionally
+// dual) iterate.  Pass nil to leave a component unchanged.
+func (s *Solver) WarmStart(x, y []float64) error {
+	if x != nil {
+		if len(x) != s.n {
+			return fmt.Errorf("qp: warm-start x has length %d, want %d", len(x), s.n)
+		}
+		for j := 0; j < s.n; j++ {
+			s.x[j] = x[j] / s.d[j]
+		}
+		s.a.MulVec(s.z, s.x)
+	}
+	if y != nil {
+		if len(y) != s.m {
+			return fmt.Errorf("qp: warm-start y has length %d, want %d", len(y), s.m)
+		}
+		for i := 0; i < s.m; i++ {
+			s.y[i] = y[i] / (s.e[i] * s.cinv)
+		}
+	}
+	return nil
+}
+
+// UpdateBounds replaces the constraint bounds (unscaled) without
+// re-equilibrating, preserving warm-start state.  Used by the QCP
+// bisection, which only moves the clock-period bound between probes.
+func (s *Solver) UpdateBounds(l, u []float64) error {
+	if len(l) != s.m || len(u) != s.m {
+		return fmt.Errorf("qp: bounds length %d/%d, want %d", len(l), len(u), s.m)
+	}
+	for i := 0; i < s.m; i++ {
+		if l[i] > u[i] {
+			return fmt.Errorf("qp: constraint %d has l > u", i)
+		}
+		s.l[i] = l[i] * s.e[i]
+		s.u[i] = u[i] * s.e[i]
+	}
+	return nil
+}
+
+// Solve runs ADMM from the current iterate (zero on first use, or the
+// previous solution / warm start on subsequent calls).
+func (s *Solver) Solve() *Result {
+	n, m := s.n, s.m
+	set := s.set
+	res := &Result{Status: MaxIterations, RhoFinal: s.rho}
+
+	dyAcc := make([]float64, m) // accumulated δy for infeasibility cert
+	var lastPrim, lastDual float64
+
+	for iter := 1; iter <= set.MaxIter; iter++ {
+		// x-step: (P + σI + ρAᵀA) x̃ = σx − q + Aᵀ(ρz − y)
+		for i := 0; i < m; i++ {
+			s.tmp[i] = s.rho*s.z[i] - s.y[i]
+		}
+		for j := 0; j < n; j++ {
+			s.rhs[j] = set.Sigma*s.x[j] - s.q[j]
+		}
+		s.a.AddMulTVec(s.rhs, s.tmp)
+		cgTol := set.CGTol
+		if lastPrim > 0 {
+			// Loose early, tight late: inexact ADMM.
+			t := 0.05 * math.Min(lastPrim, lastDual)
+			if t > cgTol {
+				cgTol = t
+			}
+			if cgTol > 1e-3 {
+				cgTol = 1e-3
+			}
+		}
+		copy(s.xt, s.x) // warm start CG from current x
+		res.CGIters += s.cg(s.xt, s.rhs, cgTol)
+
+		// z̃ = A x̃
+		s.a.MulVec(s.zt, s.xt)
+
+		// Relaxation + updates.
+		for j := 0; j < n; j++ {
+			s.x[j] = set.Alpha*s.xt[j] + (1-set.Alpha)*s.x[j]
+		}
+		for i := 0; i < m; i++ {
+			zc := set.Alpha*s.zt[i] + (1-set.Alpha)*s.z[i] + s.y[i]/s.rho
+			zNew := zc
+			if zNew < s.l[i] {
+				zNew = s.l[i]
+			} else if zNew > s.u[i] {
+				zNew = s.u[i]
+			}
+			yNew := s.rho * (zc - zNew)
+			dyAcc[i] += yNew - s.y[i]
+			s.z[i] = zNew
+			s.y[i] = yNew
+		}
+
+		if iter%set.CheckEvery != 0 && iter != set.MaxIter {
+			continue
+		}
+
+		prim, dual, epsP, epsD := s.residuals()
+		lastPrim, lastDual = prim, dual
+		res.Iters = iter
+		res.PrimRes, res.DualRes = prim, dual
+		if prim <= epsP && dual <= epsD {
+			res.Status = Solved
+			break
+		}
+		if s.primalInfeasible(dyAcc) {
+			res.Status = PrimalInfeasible
+			break
+		}
+		for i := range dyAcc {
+			dyAcc[i] = 0
+		}
+		if set.AdaptiveRho {
+			s.adaptRho(prim, dual, epsP, epsD)
+		}
+	}
+
+	// Unscale solution.
+	res.X = make([]float64, n)
+	for j := 0; j < n; j++ {
+		res.X[j] = s.d[j] * s.x[j]
+	}
+	res.Y = make([]float64, m)
+	for i := 0; i < m; i++ {
+		res.Y[i] = s.cinv * s.e[i] * s.y[i]
+	}
+	res.Obj = s.orig.Objective(res.X)
+	res.RhoFinal = s.rho
+	return res
+}
+
+// residuals computes unscaled primal/dual residuals and their tolerances.
+func (s *Solver) residuals() (prim, dual, epsP, epsD float64) {
+	n, m := s.n, s.m
+	// Unscaled primal residual: ‖E⁻¹(Ax̄ − z̄)‖∞ with per-row unscaling.
+	ax := make([]float64, m)
+	s.a.MulVec(ax, s.x)
+	var normAx, normZ float64
+	for i := 0; i < m; i++ {
+		ei := 1 / s.e[i]
+		r := math.Abs(ax[i]-s.z[i]) * ei
+		if r > prim {
+			prim = r
+		}
+		if v := math.Abs(ax[i]) * ei; v > normAx {
+			normAx = v
+		}
+		if v := math.Abs(s.z[i]) * ei; v > normZ {
+			normZ = v
+		}
+	}
+	// Unscaled dual residual: ‖c⁻¹D⁻¹(P̄x̄ + q̄ + Āᵀȳ)‖∞.
+	px := make([]float64, n)
+	if s.p != nil {
+		s.p.MulVec(px, s.x)
+	}
+	aty := make([]float64, n)
+	s.a.MulTVec(aty, s.y)
+	var normPx, normATy, normQ float64
+	for j := 0; j < n; j++ {
+		dj := s.cinv / s.d[j]
+		r := math.Abs(px[j]+s.q[j]+aty[j]) * dj
+		if r > dual {
+			dual = r
+		}
+		if v := math.Abs(px[j]) * dj; v > normPx {
+			normPx = v
+		}
+		if v := math.Abs(aty[j]) * dj; v > normATy {
+			normATy = v
+		}
+		if v := math.Abs(s.q[j]) * dj; v > normQ {
+			normQ = v
+		}
+	}
+	epsP = s.set.EpsAbs + s.set.EpsRel*math.Max(normAx, normZ)
+	epsD = s.set.EpsAbs + s.set.EpsRel*math.Max(normPx, math.Max(normATy, normQ))
+	return prim, dual, epsP, epsD
+}
+
+// primalInfeasible tests the OSQP primal-infeasibility certificate on the
+// accumulated dual step δy: Aᵀδy ≈ 0 with uᵀ(δy)₊ + lᵀ(δy)₋ < 0.
+func (s *Solver) primalInfeasible(dy []float64) bool {
+	normDy := InfNorm(dy)
+	if normDy < 1e-12 {
+		return false
+	}
+	eps := s.set.EpsInfeas * normDy
+	aty := make([]float64, s.n)
+	s.a.MulTVec(aty, dy)
+	// Unscale: columns j carry d[j]; certificate needs ‖D⁻¹?‖... we work
+	// in scaled space consistently: both thresholds use scaled norms.
+	if InfNorm(aty) > eps {
+		return false
+	}
+	support := 0.0
+	for i := range dy {
+		if dy[i] > 0 {
+			if math.IsInf(s.u[i], 1) {
+				return false
+			}
+			support += s.u[i] * dy[i]
+		} else if dy[i] < 0 {
+			if math.IsInf(s.l[i], -1) {
+				return false
+			}
+			support += s.l[i] * dy[i]
+		}
+	}
+	return support < -eps
+}
+
+func (s *Solver) adaptRho(prim, dual, epsP, epsD float64) {
+	if dual <= 0 || prim <= 0 {
+		return
+	}
+	// Normalize residuals by their tolerances so the ratio is unitless.
+	ratio := math.Sqrt((prim / epsP) / (dual / epsD))
+	if ratio > 5 || ratio < 0.2 {
+		s.rho *= ratio
+		if s.rho < 1e-6 {
+			s.rho = 1e-6
+		}
+		if s.rho > 1e6 {
+			s.rho = 1e6
+		}
+	}
+}
+
+// cg solves (P + σI + ρAᵀA) x = b by preconditioned conjugate gradients,
+// starting from the value already in x.  It returns the iteration count.
+func (s *Solver) cg(x, b []float64, tol float64) int {
+	n := s.n
+	set := s.set
+	precond := make([]float64, n)
+	for j := 0; j < n; j++ {
+		precond[j] = 1 / (s.diagP[j] + set.Sigma + s.rho*s.diagTA[j])
+	}
+	apply := func(dst, v []float64) {
+		// dst = P v + σ v + ρ Aᵀ(A v)
+		if s.p != nil {
+			s.p.MulVec(dst, v)
+		} else {
+			for j := range dst {
+				dst[j] = 0
+			}
+		}
+		for j := 0; j < n; j++ {
+			dst[j] += set.Sigma * v[j]
+		}
+		s.a.MulVec(s.cgAx, v)
+		Scale(s.cgAx, s.rho)
+		s.a.AddMulTVec(dst, s.cgAx)
+	}
+	r, z, p, ap := s.cgR, s.cgZ, s.cgP, s.cgAp
+	apply(ap, x)
+	for j := 0; j < n; j++ {
+		r[j] = b[j] - ap[j]
+	}
+	bnorm := InfNorm(b)
+	if bnorm == 0 {
+		bnorm = 1
+	}
+	if InfNorm(r) <= tol*bnorm {
+		return 0
+	}
+	for j := 0; j < n; j++ {
+		z[j] = precond[j] * r[j]
+	}
+	copy(p, z)
+	rz := Dot(r, z)
+	for it := 1; it <= set.CGMaxIter; it++ {
+		apply(ap, p)
+		pap := Dot(p, ap)
+		if pap <= 0 {
+			return it
+		}
+		alpha := rz / pap
+		AXPY(x, alpha, p)
+		AXPY(r, -alpha, ap)
+		if InfNorm(r) <= tol*bnorm {
+			return it
+		}
+		for j := 0; j < n; j++ {
+			z[j] = precond[j] * r[j]
+		}
+		rzNew := Dot(r, z)
+		beta := rzNew / rz
+		rz = rzNew
+		for j := 0; j < n; j++ {
+			p[j] = z[j] + beta*p[j]
+		}
+	}
+	return set.CGMaxIter
+}
+
+// Solve is the one-shot convenience wrapper: build a solver, run it once.
+func Solve(prob *Problem, set Settings) (*Result, error) {
+	s, err := NewSolver(prob, set)
+	if err != nil {
+		return nil, err
+	}
+	return s.Solve(), nil
+}

@@ -1,0 +1,267 @@
+// Package qp provides the mathematical-programming substrate for the
+// dose-map optimization: sparse matrices, a conjugate-gradient linear
+// solver, and a convex quadratic-program solver based on the operator-
+// splitting (ADMM) method popularized by OSQP.
+//
+// The paper solves its QP and QCP instances with ILOG CPLEX; no such
+// solver exists in the Go stdlib ecosystem, so this package implements
+// one from scratch.  It solves problems of the form
+//
+//	minimize   ½ xᵀPx + qᵀx
+//	subject to l ≤ Ax ≤ u
+//
+// with P positive semidefinite and sparse A.  The quadratically
+// constrained variant (minimize T s.t. ΔLeakage ≤ ξ) is handled by the
+// core package via monotone bisection on T, using this QP as the
+// feasibility oracle.
+package qp
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Triplet accumulates matrix entries in coordinate form.  Duplicate
+// entries at the same (row, col) are summed when compiled to CSR, which
+// makes constraint assembly straightforward.
+type Triplet struct {
+	rows, cols []int
+	vals       []float64
+	m, n       int
+}
+
+// NewTriplet returns an empty m×n triplet accumulator.
+func NewTriplet(m, n int) *Triplet {
+	return &Triplet{m: m, n: n}
+}
+
+// Add records the entry (i, j) += v.  It panics on out-of-range indices:
+// constraint assembly bugs should fail loudly during development.
+func (t *Triplet) Add(i, j int, v float64) {
+	if i < 0 || i >= t.m || j < 0 || j >= t.n {
+		panic(fmt.Sprintf("qp: triplet index (%d,%d) out of range %d×%d", i, j, t.m, t.n))
+	}
+	if v == 0 {
+		return
+	}
+	t.rows = append(t.rows, i)
+	t.cols = append(t.cols, j)
+	t.vals = append(t.vals, v)
+}
+
+// Dims returns the matrix dimensions.
+func (t *Triplet) Dims() (m, n int) { return t.m, t.n }
+
+// NNZ returns the number of accumulated entries (before duplicate
+// summing).
+func (t *Triplet) NNZ() int { return len(t.vals) }
+
+// CSR is a compressed-sparse-row matrix.
+type CSR struct {
+	M, N   int
+	RowPtr []int
+	Col    []int
+	Val    []float64
+}
+
+// Compile converts the triplet form to CSR, summing duplicates and
+// dropping exact zeros that result from cancellation.
+func (t *Triplet) Compile() *CSR {
+	type ent struct {
+		r, c int
+		v    float64
+	}
+	ents := make([]ent, len(t.vals))
+	for i := range t.vals {
+		ents[i] = ent{t.rows[i], t.cols[i], t.vals[i]}
+	}
+	sort.Slice(ents, func(a, b int) bool {
+		if ents[a].r != ents[b].r {
+			return ents[a].r < ents[b].r
+		}
+		return ents[a].c < ents[b].c
+	})
+	c := &CSR{M: t.m, N: t.n, RowPtr: make([]int, t.m+1)}
+	for i := 0; i < len(ents); {
+		j := i + 1
+		v := ents[i].v
+		for j < len(ents) && ents[j].r == ents[i].r && ents[j].c == ents[i].c {
+			v += ents[j].v
+			j++
+		}
+		if v != 0 {
+			c.Col = append(c.Col, ents[i].c)
+			c.Val = append(c.Val, v)
+			c.RowPtr[ents[i].r+1]++
+		}
+		i = j
+	}
+	for r := 0; r < t.m; r++ {
+		c.RowPtr[r+1] += c.RowPtr[r]
+	}
+	return c
+}
+
+// NNZ returns the number of stored nonzeros.
+func (c *CSR) NNZ() int { return len(c.Val) }
+
+// MulVec computes y = A·x.  y must have length M and is overwritten.
+func (c *CSR) MulVec(y, x []float64) {
+	for r := 0; r < c.M; r++ {
+		s := 0.0
+		for k := c.RowPtr[r]; k < c.RowPtr[r+1]; k++ {
+			s += c.Val[k] * x[c.Col[k]]
+		}
+		y[r] = s
+	}
+}
+
+// MulTVec computes y = Aᵀ·x.  y must have length N and is overwritten.
+func (c *CSR) MulTVec(y, x []float64) {
+	for i := range y {
+		y[i] = 0
+	}
+	for r := 0; r < c.M; r++ {
+		xr := x[r]
+		if xr == 0 {
+			continue
+		}
+		for k := c.RowPtr[r]; k < c.RowPtr[r+1]; k++ {
+			y[c.Col[k]] += c.Val[k] * xr
+		}
+	}
+}
+
+// AddMulTVec computes y += Aᵀ·x without zeroing y first.
+func (c *CSR) AddMulTVec(y, x []float64) {
+	for r := 0; r < c.M; r++ {
+		xr := x[r]
+		if xr == 0 {
+			continue
+		}
+		for k := c.RowPtr[r]; k < c.RowPtr[r+1]; k++ {
+			y[c.Col[k]] += c.Val[k] * xr
+		}
+	}
+}
+
+// DiagATA returns the diagonal of AᵀA (the per-column sums of squares),
+// used to build the Jacobi preconditioner of the ADMM KKT operator.
+func (c *CSR) DiagATA() []float64 {
+	d := make([]float64, c.N)
+	for k, col := range c.Col {
+		d[col] += c.Val[k] * c.Val[k]
+	}
+	return d
+}
+
+// RowInfNorms returns the infinity norm of each row.
+func (c *CSR) RowInfNorms() []float64 {
+	norms := make([]float64, c.M)
+	for r := 0; r < c.M; r++ {
+		for k := c.RowPtr[r]; k < c.RowPtr[r+1]; k++ {
+			if a := math.Abs(c.Val[k]); a > norms[r] {
+				norms[r] = a
+			}
+		}
+	}
+	return norms
+}
+
+// ColInfNorms returns the infinity norm of each column.
+func (c *CSR) ColInfNorms() []float64 {
+	norms := make([]float64, c.N)
+	for k, col := range c.Col {
+		if a := math.Abs(c.Val[k]); a > norms[col] {
+			norms[col] = a
+		}
+	}
+	return norms
+}
+
+// ScaleRows multiplies row r by s[r] in place.
+func (c *CSR) ScaleRows(s []float64) {
+	for r := 0; r < c.M; r++ {
+		for k := c.RowPtr[r]; k < c.RowPtr[r+1]; k++ {
+			c.Val[k] *= s[r]
+		}
+	}
+}
+
+// ScaleCols multiplies column j by s[j] in place.
+func (c *CSR) ScaleCols(s []float64) {
+	for k, col := range c.Col {
+		c.Val[k] *= s[col]
+	}
+}
+
+// Clone returns a deep copy.
+func (c *CSR) Clone() *CSR {
+	out := &CSR{M: c.M, N: c.N,
+		RowPtr: append([]int(nil), c.RowPtr...),
+		Col:    append([]int(nil), c.Col...),
+		Val:    append([]float64(nil), c.Val...),
+	}
+	return out
+}
+
+// Dense expands the matrix into a dense row-major [][]float64, for tests
+// and debugging only.
+func (c *CSR) Dense() [][]float64 {
+	d := make([][]float64, c.M)
+	for r := range d {
+		d[r] = make([]float64, c.N)
+		for k := c.RowPtr[r]; k < c.RowPtr[r+1]; k++ {
+			d[r][c.Col[k]] += c.Val[k]
+		}
+	}
+	return d
+}
+
+// Vector helpers.  All operate element-wise on equal-length slices.
+
+// Dot returns aᵀb.
+func Dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// InfNorm returns max|a_i| (0 for an empty slice).
+func InfNorm(a []float64) float64 {
+	m := 0.0
+	for _, v := range a {
+		if av := math.Abs(v); av > m {
+			m = av
+		}
+	}
+	return m
+}
+
+// AXPY computes y += alpha·x.
+func AXPY(y []float64, alpha float64, x []float64) {
+	for i := range y {
+		y[i] += alpha * x[i]
+	}
+}
+
+// Scale multiplies a by s in place.
+func Scale(a []float64, s float64) {
+	for i := range a {
+		a[i] *= s
+	}
+}
+
+// Clamp projects v onto [lo, hi] element-wise in place.
+func Clamp(v, lo, hi []float64) {
+	for i := range v {
+		if v[i] < lo[i] {
+			v[i] = lo[i]
+		} else if v[i] > hi[i] {
+			v[i] = hi[i]
+		}
+	}
+}

@@ -1,0 +1,195 @@
+package sta
+
+import (
+	"container/heap"
+	"math"
+
+	"repro/internal/netlist"
+)
+
+// Path is one register-to-register (or port-to-port) timing path.
+type Path struct {
+	// Nodes lists gate IDs from startpoint to endpoint inclusive.
+	Nodes []int
+	// Delay is the total path delay in ps, including the startpoint
+	// launch (clock-to-q) and the endpoint setup.
+	Delay float64
+}
+
+// Slack returns the path slack at clock period T.
+func (p *Path) Slack(period float64) float64 { return period - p.Delay }
+
+// Start and End return the path's terminal gate IDs.
+func (p *Path) Start() int { return p.Nodes[0] }
+func (p *Path) End() int   { return p.Nodes[len(p.Nodes)-1] }
+
+// pathState is a node in the implicit prefix tree of the best-first
+// search.
+type pathState struct {
+	node     int
+	g        float64 // exact delay of the prefix up to (and including) node
+	bound    float64 // g + best possible suffix
+	parent   int     // index into the arena; -1 for roots
+	terminal bool
+}
+
+type stateHeap struct {
+	arena *[]pathState
+	idx   []int
+}
+
+func (h stateHeap) Len() int { return len(h.idx) }
+func (h stateHeap) Less(a, b int) bool {
+	return (*h.arena)[h.idx[a]].bound > (*h.arena)[h.idx[b]].bound
+}
+func (h stateHeap) Swap(a, b int) { h.idx[a], h.idx[b] = h.idx[b], h.idx[a] }
+func (h *stateHeap) Push(x any)   { h.idx = append(h.idx, x.(int)) }
+func (h *stateHeap) Pop() any {
+	old := h.idx
+	n := len(old)
+	v := old[n-1]
+	h.idx = old[:n-1]
+	return v
+}
+
+// TopPaths enumerates the K longest paths in exact non-increasing delay
+// order, the stand-in for the paper's "top-K (e.g., K = 10,000) critical
+// paths" extraction.  Fewer than K paths are returned if the design has
+// fewer distinct paths (enumeration also stops after visiting maxStates
+// prefix states as a safety valve; 0 means no limit).
+func (r *Result) TopPaths(k int, maxStates int) []*Path {
+	return TopPathsDAG(r.In.Circ, r.order, r.ArcDelay, r.StartWeight, r.EndWeight, k, maxStates)
+}
+
+// TopPathsDAG is the graph-generic K-longest-path enumeration underlying
+// TopPaths: arc gives the delay of edge from→to, start the launch weight
+// of a startpoint, end the terminal weight of an endpoint.  The
+// optimizer reuses it on its linear delay model.
+func TopPathsDAG(circ *netlist.Circuit, order []int, arc func(from, to int) float64,
+	start, end func(id int) float64, k, maxStates int) []*Path {
+	if k <= 0 {
+		return nil
+	}
+	n := circ.NumGates()
+
+	// suffix[id] = best achievable delay from id's output to any
+	// endpoint (excluding id's own launch weight); -inf for dead ends.
+	suffix := make([]float64, n)
+	for i := range suffix {
+		suffix[i] = math.Inf(-1)
+	}
+	relax := func(id int) {
+		g := circ.Gates[id]
+		best := math.Inf(-1)
+		for _, fo := range g.Fanouts {
+			fog := circ.Gates[fo]
+			a := arc(id, fo)
+			var v float64
+			if fog.Kind == netlist.PO || fog.Kind == netlist.Seq {
+				v = a + end(fo)
+			} else if !math.IsInf(suffix[fo], -1) {
+				v = a + suffix[fo]
+			} else {
+				continue
+			}
+			if v > best {
+				best = v
+			}
+		}
+		suffix[id] = best
+	}
+	// Reverse topological pass fixes combinational/PI suffixes; a second
+	// pass fixes sequential launch nodes (their fanouts are already
+	// final).
+	for i := len(order) - 1; i >= 0; i-- {
+		id := order[i]
+		if circ.Gates[id].Kind != netlist.Seq {
+			relax(id)
+		}
+	}
+	for id, g := range circ.Gates {
+		if g.Kind == netlist.Seq {
+			relax(id)
+		}
+	}
+
+	arena := make([]pathState, 0, 4*k)
+	h := &stateHeap{arena: &arena}
+	push := func(s pathState) {
+		arena = append(arena, s)
+		heap.Push(h, len(arena)-1)
+	}
+	// Roots: all startpoints with a live suffix.
+	for _, sp := range circ.StartPoints() {
+		if math.IsInf(suffix[sp], -1) {
+			continue
+		}
+		g0 := start(sp)
+		push(pathState{node: sp, g: g0, bound: g0 + suffix[sp], parent: -1})
+	}
+
+	var paths []*Path
+	visited := 0
+	for h.Len() > 0 && len(paths) < k {
+		si := heap.Pop(h).(int)
+		s := arena[si]
+		visited++
+		if maxStates > 0 && visited > maxStates {
+			break
+		}
+		if s.terminal {
+			// Reconstruct.
+			var rev []int
+			for i := si; i >= 0; i = arena[i].parent {
+				rev = append(rev, arena[i].node)
+			}
+			nodes := make([]int, len(rev))
+			for i, v := range rev {
+				nodes[len(rev)-1-i] = v
+			}
+			paths = append(paths, &Path{Nodes: nodes, Delay: s.g})
+			continue
+		}
+		g := circ.Gates[s.node]
+		for _, fo := range g.Fanouts {
+			fog := circ.Gates[fo]
+			a := arc(s.node, fo)
+			if fog.Kind == netlist.PO || fog.Kind == netlist.Seq {
+				tot := s.g + a + end(fo)
+				push(pathState{node: fo, g: tot, bound: tot, parent: si, terminal: true})
+			} else if !math.IsInf(suffix[fo], -1) {
+				ng := s.g + a
+				push(pathState{node: fo, g: ng, bound: ng + suffix[fo], parent: si})
+			}
+		}
+	}
+	return paths
+}
+
+// PathCounts returns, for each gate, the number of the given paths that
+// pass through it — the first dosePl priority factor ("number of critical
+// paths that pass through the cell").
+func PathCounts(nGates int, paths []*Path) []int {
+	counts := make([]int, nGates)
+	for _, p := range paths {
+		for _, id := range p.Nodes {
+			counts[id]++
+		}
+	}
+	return counts
+}
+
+// FractionAbove returns the fraction of paths whose delay is at least
+// frac·mct — the Table VII criticality metric.
+func FractionAbove(paths []*Path, mct, frac float64) float64 {
+	if len(paths) == 0 {
+		return 0
+	}
+	n := 0
+	for _, p := range paths {
+		if p.Delay >= frac*mct {
+			n++
+		}
+	}
+	return float64(n) / float64(len(paths))
+}

@@ -1,0 +1,337 @@
+// Package sta provides the static-timing-analysis substrate standing in
+// for the paper's golden signoff tool (Synopsys PrimeTime): block-based
+// arrival/required/slack analysis with slew propagation, a placement-
+// driven wire-delay model, minimum-cycle-time extraction, and exact
+// top-K critical-path enumeration (the paper extracts the top 10 000
+// paths to drive the dosePl heuristic).
+//
+// Timing conventions (all times in ps):
+//
+//   - primary inputs launch at t = 0 with a configured input slew;
+//   - flip-flops launch at their clock-to-q delay and capture at their
+//     data input with a setup margin;
+//   - the minimum cycle time (MCT) is the largest endpoint arrival, i.e.
+//     the smallest clock period at which every endpoint meets setup.
+package sta
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/liberty"
+	"repro/internal/netlist"
+	"repro/internal/place"
+	"repro/internal/tech"
+)
+
+// Input bundles the design views STA needs.
+type Input struct {
+	Circ    *netlist.Circuit
+	Masters []*liberty.Master // per gate ID; nil for ports
+	Pl      *place.Placement
+	Node    *tech.Node
+}
+
+// Perturb carries per-gate dose-induced geometry deltas in nm.  Nil
+// slices mean zero everywhere.
+type Perturb struct {
+	DL []float64 // gate-length delta per gate ID
+	DW []float64 // gate-width delta per gate ID
+}
+
+func (p *Perturb) dl(id int) float64 {
+	if p == nil || p.DL == nil {
+		return 0
+	}
+	return p.DL[id]
+}
+
+func (p *Perturb) dw(id int) float64 {
+	if p == nil || p.DW == nil {
+		return 0
+	}
+	return p.DW[id]
+}
+
+// Config holds boundary-condition knobs.
+type Config struct {
+	// InputSlew is the transition time in ps at primary inputs.
+	InputSlew float64
+	// ClockSlew is the transition time in ps at flip-flop clock pins.
+	ClockSlew float64
+	// POLoad is the capacitive load in fF at primary outputs.
+	POLoad float64
+	// SlewWireFactor converts wire delay into added input slew.
+	SlewWireFactor float64
+}
+
+// DefaultConfig returns the boundary conditions used across the flow.
+func DefaultConfig() Config {
+	return Config{InputSlew: 20, ClockSlew: 25, POLoad: 4, SlewWireFactor: 0.5}
+}
+
+// Result is a full timing analysis of one design state.
+type Result struct {
+	In   Input
+	Cfg  Config
+	Pert *Perturb
+
+	// AOut is the arrival time at each gate's output: launch time for
+	// startpoints, propagated arrival for combinational gates, data-pin
+	// arrival for POs.
+	AOut []float64
+	// AEnd is the endpoint arrival (data arrival plus setup for FFs,
+	// AOut for POs); NaN for non-endpoints.
+	AEnd []float64
+	// ROut is the required time at each gate's output for clock period
+	// T = MCT (so the most critical node has zero slack).
+	ROut []float64
+	// Slew is the output transition time at each gate.
+	Slew []float64
+	// InSlew is the input transition time of each gate's worst arc
+	// (wire-degraded); boundary slew for startpoints.  The coefficient
+	// fitting evaluates cell delays at this operating point.
+	InSlew []float64
+	// Load is the total capacitive load in fF at each gate's output.
+	Load []float64
+	// MCT is the minimum cycle time in ps.
+	MCT float64
+	// CritEnd is the endpoint gate ID achieving MCT.
+	CritEnd int
+
+	order []int
+}
+
+// Slack returns the output slack of gate id at clock period T:
+// (required at T) − arrival.  ROut is stored for T = MCT, so the shift
+// is a constant.
+func (r *Result) Slack(id int, period float64) float64 {
+	return r.ROut[id] + (period - r.MCT) - r.AOut[id]
+}
+
+// WorstSlack returns the design's worst slack at clock period T, which
+// is T − MCT by construction.
+func (r *Result) WorstSlack(period float64) float64 { return period - r.MCT }
+
+// WireDelay returns the interconnect delay in ps of the arc from gate
+// from to gate to, using a distance-based Elmore-style model on the
+// placed locations.
+func (in Input) WireDelay(from, to int) float64 {
+	d := in.Pl.Dist(from, to)
+	r := in.Node.WireRPerUm * d
+	c := in.Node.WireCPerUm * d
+	return 0.5 * r * c
+}
+
+// netLoad returns the capacitive load at gate id's output: wire cap of
+// the net (HPWL-based) plus the input pin caps of all fanouts.
+func (in Input) netLoad(id int, cfg Config) float64 {
+	g := in.Circ.Gates[id]
+	load := in.Node.WireCPerUm * in.Pl.NetHPWL(id)
+	for _, fo := range g.Fanouts {
+		fog := in.Circ.Gates[fo]
+		switch fog.Kind {
+		case netlist.PO:
+			load += cfg.POLoad
+		default:
+			if m := in.Masters[fo]; m != nil {
+				load += m.CIn
+			}
+		}
+	}
+	return load
+}
+
+// Analyze performs a full forward/backward timing analysis.
+func Analyze(in Input, cfg Config, pert *Perturb) (*Result, error) {
+	n := in.Circ.NumGates()
+	if n == 0 {
+		return nil, errors.New("sta: empty circuit")
+	}
+	if len(in.Masters) != n {
+		return nil, fmt.Errorf("sta: %d masters for %d gates", len(in.Masters), n)
+	}
+	order, err := in.Circ.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	r := &Result{
+		In: in, Cfg: cfg, Pert: pert,
+		AOut:   make([]float64, n),
+		AEnd:   make([]float64, n),
+		ROut:   make([]float64, n),
+		Slew:   make([]float64, n),
+		InSlew: make([]float64, n),
+		Load:   make([]float64, n),
+		order:  order,
+	}
+	for i := range r.AEnd {
+		r.AEnd[i] = math.NaN()
+	}
+
+	// Loads first (they depend only on placement and fanout pins).
+	for id := range in.Circ.Gates {
+		r.Load[id] = in.netLoad(id, cfg)
+	}
+
+	// Sequential launch values next: they depend only on loads, and the
+	// topological order does not constrain a flip-flop to precede its
+	// fanouts (edges out of registers cut the timing graph), so fanouts
+	// may be visited first and must already see the launch arrival.
+	for id, g := range in.Circ.Gates {
+		if g.Kind != netlist.Seq {
+			continue
+		}
+		m := in.Masters[id]
+		r.AOut[id] = m.Delay(pert.dl(id), pert.dw(id), cfg.ClockSlew, r.Load[id])
+		r.Slew[id] = m.OutSlew(pert.dl(id), pert.dw(id), cfg.ClockSlew, r.Load[id])
+		r.InSlew[id] = cfg.ClockSlew
+	}
+
+	// Forward pass in topological order.
+	for _, id := range order {
+		g := in.Circ.Gates[id]
+		switch g.Kind {
+		case netlist.PI:
+			r.AOut[id] = 0
+			r.Slew[id] = cfg.InputSlew
+			r.InSlew[id] = cfg.InputSlew
+		case netlist.Seq:
+			// Capture: data arrival plus setup (endpoint); the launch
+			// side was precomputed above.
+			r.AEnd[id] = dataArrival(r, in, id) + in.Masters[id].Setup
+		case netlist.Comb:
+			m := in.Masters[id]
+			best := math.Inf(-1)
+			var bestSlew, bestIn float64
+			for _, fi := range g.Fanins {
+				wd := in.WireDelay(fi, id)
+				slewIn := r.Slew[fi] + cfg.SlewWireFactor*wd
+				d := m.Delay(pert.dl(id), pert.dw(id), slewIn, r.Load[id])
+				if a := r.AOut[fi] + wd + d; a > best {
+					best = a
+					bestSlew = m.OutSlew(pert.dl(id), pert.dw(id), slewIn, r.Load[id])
+					bestIn = slewIn
+				}
+			}
+			if math.IsInf(best, -1) {
+				best = 0
+				bestSlew = cfg.InputSlew
+				bestIn = cfg.InputSlew
+			}
+			r.AOut[id] = best
+			r.Slew[id] = bestSlew
+			r.InSlew[id] = bestIn
+		case netlist.PO:
+			arr := dataArrival(r, in, id)
+			r.AOut[id] = arr
+			r.AEnd[id] = arr
+			r.Slew[id] = cfg.InputSlew
+		}
+	}
+
+	// MCT = max endpoint arrival.
+	r.MCT = 0
+	r.CritEnd = -1
+	for id, a := range r.AEnd {
+		if !math.IsNaN(a) && a > r.MCT {
+			r.MCT = a
+			r.CritEnd = id
+		}
+	}
+
+	// Backward pass: required times at T = MCT.
+	for i := range r.ROut {
+		r.ROut[i] = math.Inf(1)
+	}
+	for i := len(order) - 1; i >= 0; i-- {
+		id := order[i]
+		g := in.Circ.Gates[id]
+		// Endpoint contribution at this node's *input* maps onto the
+		// drivers below; here we set requireds for outputs.
+		if g.Kind == netlist.PO || g.Kind == netlist.Seq {
+			// The output of a PO doesn't exist; for a Seq the output
+			// launches the *next* cycle, whose budget is again MCT, so
+			// its required is MCT minus the downstream path — handled
+			// via fanouts like a normal driver below.
+			if g.Kind == netlist.PO {
+				r.ROut[id] = r.MCT
+			}
+		}
+		for _, fi := range g.Fanins {
+			req := math.Inf(1)
+			wd := in.WireDelay(fi, id)
+			switch g.Kind {
+			case netlist.PO:
+				req = r.MCT - wd
+			case netlist.Seq:
+				req = r.MCT - in.Masters[id].Setup - wd
+			case netlist.Comb:
+				m := in.Masters[id]
+				slewIn := r.Slew[fi] + cfg.SlewWireFactor*wd
+				d := m.Delay(pert.dl(id), pert.dw(id), slewIn, r.Load[id])
+				req = r.ROut[id] - d - wd
+			}
+			if req < r.ROut[fi] {
+				r.ROut[fi] = req
+			}
+		}
+	}
+	// Unloaded nodes: required defaults to MCT.
+	for id := range r.ROut {
+		if math.IsInf(r.ROut[id], 1) {
+			r.ROut[id] = r.MCT
+		}
+	}
+	return r, nil
+}
+
+func dataArrival(r *Result, in Input, id int) float64 {
+	g := in.Circ.Gates[id]
+	best := 0.0
+	for _, fi := range g.Fanins {
+		wd := in.WireDelay(fi, id)
+		if a := r.AOut[fi] + wd; a > best {
+			best = a
+		}
+	}
+	return best
+}
+
+// ArcDelay returns the frozen arc delay from gate from into gate to as
+// used by the analysis: wire delay plus the receiving cell's delay under
+// the analyzed slews and loads (zero cell delay into POs and FF D pins).
+func (r *Result) ArcDelay(from, to int) float64 {
+	in := r.In
+	g := in.Circ.Gates[to]
+	wd := in.WireDelay(from, to)
+	switch g.Kind {
+	case netlist.PO, netlist.Seq:
+		return wd
+	case netlist.Comb:
+		m := in.Masters[to]
+		slewIn := r.Slew[from] + r.Cfg.SlewWireFactor*wd
+		return wd + m.Delay(r.Pert.dl(to), r.Pert.dw(to), slewIn, r.Load[to])
+	}
+	return wd
+}
+
+// EndWeight returns the terminal weight of an endpoint (setup for FFs).
+func (r *Result) EndWeight(id int) float64 {
+	g := r.In.Circ.Gates[id]
+	if g.Kind == netlist.Seq {
+		return r.In.Masters[id].Setup
+	}
+	return 0
+}
+
+// StartWeight returns the launch weight of a startpoint (clock-to-q for
+// FFs, zero for PIs).
+func (r *Result) StartWeight(id int) float64 {
+	g := r.In.Circ.Gates[id]
+	if g.Kind == netlist.Seq {
+		return r.AOut[id] // clk-to-q as computed in the forward pass
+	}
+	return 0
+}

@@ -1,0 +1,135 @@
+// Package repro is a from-scratch Go reproduction of "Dose Map and
+// Placement Co-Optimization for Timing Yield Enhancement and Leakage
+// Power Reduction" (Jeong, Kahng, Park, Yao — DAC 2008; extended TCAD
+// 2010 version).
+//
+// The package is the public facade over the implementation packages in
+// internal/: it re-exports the design generator, the golden analysis,
+// the two DMopt formulations (QP: minimize leakage under a clock-period
+// bound; QCP: minimize the clock period under a leakage bound), the
+// dosePl cell-swapping heuristic, the end-to-end flow, and the
+// experiment harness that regenerates every table and figure of the
+// paper's evaluation.
+//
+// Quick start:
+//
+//	d, _ := repro.Generate(repro.AES65().Scaled(0.1))
+//	out, _ := repro.RunFlow(d, repro.FlowConfig{
+//	        Opt:  repro.DefaultOptions(),
+//	        Mode: repro.ModeQCPTiming,
+//	})
+//	fmt.Printf("MCT %.0f → %.0f ps at %.1f → %.1f µW\n",
+//	        out.DM.Nominal.MCTps, out.Final.MCTps,
+//	        out.DM.Nominal.LeakUW, out.Final.LeakUW)
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured record.
+package repro
+
+import (
+	"repro/internal/core"
+	"repro/internal/expt"
+	"repro/internal/gen"
+	"repro/internal/sta"
+)
+
+// Re-exported design/testcase types.
+type (
+	// Preset parameterizes a synthetic testcase (Table I stand-ins).
+	Preset = gen.Preset
+	// Design is a generated netlist + library + placement bundle.
+	Design = gen.Design
+)
+
+// Re-exported optimization types.
+type (
+	// Options configures DMopt (grid size, smoothness δ, dose range,
+	// layers, solver).
+	Options = core.Options
+	// Result is a DMopt outcome with golden signoff numbers.
+	Result = core.Result
+	// Eval is a golden signoff snapshot (MCT in ps, leakage in µW).
+	Eval = core.Eval
+	// FlowConfig drives the end-to-end Fig. 7 flow.
+	FlowConfig = core.FlowConfig
+	// FlowOutcome bundles the flow's artifacts.
+	FlowOutcome = core.FlowOutcome
+	// DosePlOptions are the γ knobs of the cell-swapping heuristic.
+	DosePlOptions = core.DosePlOptions
+	// DosePlResult reports the dosePl rounds.
+	DosePlResult = core.DosePlResult
+	// Model holds the fitted per-instance delay/leakage coefficients.
+	Model = core.Model
+	// Mode selects the flow's formulation.
+	Mode = core.Mode
+	// Timing is a full golden static-timing analysis.
+	Timing = sta.Result
+)
+
+// Flow modes.
+const (
+	// ModeQPLeakage minimizes leakage under a timing constraint.
+	ModeQPLeakage = core.ModeQPLeakage
+	// ModeQCPTiming minimizes the clock period under a leakage budget.
+	ModeQCPTiming = core.ModeQCPTiming
+)
+
+// Testcase presets (Table I).
+var (
+	AES65   = gen.AES65
+	JPEG65  = gen.JPEG65
+	AES90   = gen.AES90
+	JPEG90  = gen.JPEG90
+	Presets = gen.Presets
+)
+
+// Generate builds the synthetic design for a preset.
+func Generate(p Preset) (*Design, error) { return gen.Generate(p) }
+
+// DefaultOptions returns the paper's main configuration (5 µm grid,
+// δ = 2%, ±5% dose, poly layer, ξ = 0).
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// DefaultDosePlOptions returns the paper's dosePl experiment knobs.
+func DefaultDosePlOptions() DosePlOptions { return core.DefaultDosePlOptions() }
+
+// Analyze runs golden STA on the unoptimized design.
+func Analyze(d *Design) (*Timing, error) {
+	return core.GoldenNominal(d, sta.DefaultConfig())
+}
+
+// FitModel calibrates the per-instance linear-delay / quadratic-leakage
+// coefficients at the golden operating points.
+func FitModel(t *Timing, bothLayers bool) (*Model, error) {
+	return core.FitModel(t, bothLayers)
+}
+
+// RunQP minimizes Δleakage subject to MCT ≤ tauPs (Section III QP).
+func RunQP(t *Timing, m *Model, opt Options, tauPs float64) (*Result, error) {
+	return core.DMoptQP(t, m, opt, tauPs)
+}
+
+// RunQCP minimizes the clock period subject to Δleakage ≤ opt.XiNW
+// (Section III QCP, solved by bisection over the QP).
+func RunQCP(t *Timing, m *Model, opt Options) (*Result, error) {
+	return core.DMoptQCP(t, m, opt)
+}
+
+// RunDosePl runs the cell-swapping placement rounds on an optimized
+// dose map (Appendix, Algorithm 1).  The design's placement is mutated
+// when rounds are accepted.
+func RunDosePl(t *Timing, r *Result, opt Options, dopt DosePlOptions) (*DosePlResult, error) {
+	return core.DosePl(t, r.Layers, opt, dopt)
+}
+
+// RunFlow executes the full Fig. 7 pipeline.
+func RunFlow(d *Design, cfg FlowConfig) (*FlowOutcome, error) { return core.Run(d, cfg) }
+
+// Harness is the experiment context that regenerates the paper's tables
+// and figures; see cmd/tables and bench_test.go.
+type Harness = expt.Context
+
+// NewHarness returns an experiment harness at the given design scale
+// (1 = the paper's full Table I sizes) and top-path count K (≤0 = the
+// paper's 10 000).
+func NewHarness(scale float64, k int) *Harness { return expt.NewContext(scale, k) }
