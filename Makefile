@@ -1,0 +1,26 @@
+# Development checks.  `make check` is the tier-1 gate; `make race`
+# runs the race detector over the concurrent packages; `make bench`
+# records the serial-vs-parallel TableIV wall time.
+
+GO ?= go
+
+.PHONY: check vet build test race bench all
+
+all: check
+
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/par/... ./internal/sta/... ./internal/expt/...
+
+bench:
+	$(GO) test -bench=TableIV -benchtime=1x -run=^$$ .

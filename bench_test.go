@@ -141,6 +141,28 @@ func BenchmarkTableIVDMoptPoly(b *testing.B) {
 	}
 }
 
+// benchTableIV times the full 24-optimization Table IV fan at a fixed
+// worker count.  The design/golden caches are warmed before the timer
+// so the measurement isolates the optimization fan-out that the worker
+// pool parallelizes.  Serial and parallel runs produce bit-identical
+// tables (see internal/expt TestTableIVWorkersEquivalent); only the
+// wall time differs.
+func benchTableIV(b *testing.B, workers int) {
+	c := expt.New(expt.WithScale(benchScale()), expt.WithTopK(1000), expt.WithWorkers(workers))
+	if _, err := c.Design("AES-65"); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := c.TableIV(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTableIVSerial(b *testing.B)   { benchTableIV(b, 1) }
+func BenchmarkTableIVParallel(b *testing.B) { benchTableIV(b, 0) }
+
 func BenchmarkTableVQCPBothLayers(b *testing.B) {
 	c := harness()
 	printOnce("tableV", func() (*expt.Table, error) {

@@ -5,10 +5,11 @@
 //
 // Usage:
 //
-//	charlib [-node N65] [-master INVX1] [-tables]
+//	charlib [-node N65] [-master INVX1] [-tables] [-workers 0]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -21,6 +22,7 @@ func main() {
 	nodeName := flag.String("node", "N65", "technology node: N65 or N90")
 	master := flag.String("master", "INVX1", "master to dump NLDM tables for")
 	tables := flag.Bool("tables", false, "dump dose-variant NLDM tables for -master")
+	workers := flag.Int("workers", 0, "parallel fan-out of the per-variant characterization; 0 = GOMAXPROCS")
 	flag.Parse()
 
 	node, err := tech.ByName(*nodeName)
@@ -47,10 +49,14 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("\nNLDM tables for %s across the 21 poly-dose variants:\n", m.Name)
-	for _, dose := range liberty.DoseSteps() {
-		dl := tech.DoseToLength(dose)
-		tab := m.CharacterizeTable(dl, 0)
-		fmt.Printf("\ndose %+.1f%% (ΔL = %+.1f nm), leakage %.2f nW\n", dose, dl, m.Leakage(dl, 0))
+	variants, err := liberty.Characterize(context.Background(), []*liberty.Master{m}, liberty.DoseSteps(), *workers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "charlib: %v\n", err)
+		os.Exit(1)
+	}
+	for _, v := range variants {
+		tab := v.Table
+		fmt.Printf("\ndose %+.1f%% (ΔL = %+.1f nm), leakage %.2f nW\n", v.Dose, v.DL, v.Leak)
 		fmt.Printf("%8s", "slew\\load")
 		for _, c := range tab.Loads {
 			fmt.Printf(" %7.1f", c)

@@ -26,6 +26,7 @@ func main() {
 	delta := flag.Float64("delta", 2, "dose smoothness bound δ in percent")
 	xi := flag.Float64("xi", 0, "QCP leakage budget ξ in nW (Δleakage allowed)")
 	dosepl := flag.Bool("dosepl", false, "run dosePl cell-swapping rounds after DMopt")
+	workers := flag.Int("workers", 0, "parallel fan-out of STA/fit/solver; 0 = GOMAXPROCS (bit-identical results)")
 	flag.Parse()
 
 	var preset repro.Preset
@@ -54,6 +55,7 @@ func main() {
 	opt.Delta = *delta
 	opt.BothLayers = *both
 	opt.XiNW = *xi
+	opt.Workers = *workers
 
 	mode := repro.ModeQPLeakage
 	if *qcp {

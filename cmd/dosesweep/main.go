@@ -19,9 +19,10 @@ import (
 func main() {
 	design := flag.String("design", "AES-65", "testcase: AES-65, JPEG-65, AES-90, JPEG-90")
 	scale := flag.Float64("scale", 0.15, "design scale factor in (0,1]")
+	workers := flag.Int("workers", 0, "parallel fan-out across sweep points; 0 = GOMAXPROCS")
 	flag.Parse()
 
-	c := expt.NewContext(*scale, 0)
+	c := expt.New(expt.WithScale(*scale), expt.WithWorkers(*workers))
 	rows, err := c.DoseSweep(*design, expt.SweepDoses())
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dosesweep: %v\n", err)

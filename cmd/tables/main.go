@@ -25,9 +25,10 @@ func main() {
 	md := flag.Bool("md", false, "emit GitHub-flavored markdown instead of aligned text")
 	which := flag.String("which", "all", "comma-separated experiment list, or 'all'")
 	fig10Design := flag.String("fig10", "AES-65", "design for the Fig. 10 slack profiles")
+	workers := flag.Int("workers", 0, "parallel fan-out per experiment; 0 = GOMAXPROCS")
 	flag.Parse()
 
-	c := expt.NewContext(*scale, *k)
+	c := expt.New(expt.WithScale(*scale), expt.WithTopK(*k), expt.WithWorkers(*workers))
 	sel := map[string]bool{}
 	for _, w := range strings.Split(strings.ToLower(*which), ",") {
 		sel[strings.TrimSpace(w)] = true

@@ -3,33 +3,47 @@
 // (minimize clock period under a Δleakage ≤ 0 budget), follows it with
 // the dosePl cell-swapping rounds, and prints the worst-slack profile of
 // each stage against the "Bias" headroom reference.
+//
+// It uses the context-aware facade (GenerateCtx, AnalyzeCtx, RunQCPCtx,
+// RunDosePlCtx): the whole flow runs under a deadline and aborts with a
+// wrapped context error if it overruns.  Results are bit-identical to
+// the plain serial API at any worker count.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"repro"
 )
 
 func main() {
+	// The whole flow must finish within two minutes; cancellation is
+	// checked at iteration boundaries so an overrun aborts promptly.
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	const workers = 0 // 0 = GOMAXPROCS; results do not depend on this
+
 	preset := repro.AES65().Scaled(0.1)
-	d, err := repro.Generate(preset)
+	d, err := repro.GenerateCtx(ctx, preset)
 	if err != nil {
 		log.Fatal(err)
 	}
-	golden, err := repro.Analyze(d)
+	golden, err := repro.AnalyzeCtx(ctx, d, workers)
 	if err != nil {
 		log.Fatal(err)
 	}
-	model, err := repro.FitModel(golden, false)
+	model, err := repro.FitModelCtx(ctx, golden, false, workers)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	opt := repro.DefaultOptions()
 	opt.G = 5
-	res, err := repro.RunQCP(golden, model, opt)
+	opt.Workers = workers
+	res, err := repro.RunQCPCtx(ctx, golden, model, opt)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -42,7 +56,7 @@ func main() {
 	dopt.K = 1000
 	dopt.Rounds = 8
 	dopt.Gamma5 = 4
-	dp, err := repro.RunDosePl(golden, res, opt, dopt)
+	dp, err := repro.RunDosePlCtx(ctx, golden, res, opt, dopt)
 	if err != nil {
 		log.Fatal(err)
 	}

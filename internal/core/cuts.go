@@ -1,9 +1,12 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
+	"sort"
+	"sync"
 
 	"repro/internal/dosemap"
 	"repro/internal/netlist"
@@ -33,6 +36,44 @@ type cut struct {
 	nom  float64 // dose-independent path delay in ps
 }
 
+// cutPool is the growing pool of path cuts, shared by every clock-period
+// probe (a path cut is valid for all τ).  The mutex makes it safe for
+// the speculative QCP probes, which enrich the pool concurrently.
+type cutPool struct {
+	mu   sync.Mutex
+	cuts []cut
+	seen map[string]bool
+}
+
+// snapshot returns the current cuts.  The returned slice is never
+// mutated in place (add only appends), so callers may read it without
+// holding the lock.
+func (p *cutPool) snapshot() []cut {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.cuts[:len(p.cuts):len(p.cuts)]
+}
+
+// add appends c unless an equivalent cut is already pooled; it reports
+// whether the cut was new.
+func (p *cutPool) add(c cut) bool {
+	sig := c.signature()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.seen[sig] {
+		return false
+	}
+	p.seen[sig] = true
+	p.cuts = append(p.cuts, c)
+	return true
+}
+
+func (p *cutPool) size() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.cuts)
+}
+
 type cutSolver struct {
 	golden *sta.Result
 	model  *Model
@@ -44,11 +85,19 @@ type cutSolver struct {
 	nVar   int
 
 	pd, q []float64 // objective
-	cuts  []cut
-	seen  map[string]bool
+	pool  *cutPool
 	x     []float64 // warm-start iterate
 
 	rounds, solves int
+}
+
+// clone returns a probe-local copy sharing the read-only problem data
+// and the cut pool, with an independent warm-start iterate.  Used by
+// the speculative QCP bisection to run probes concurrently.
+func (cs *cutSolver) clone() *cutSolver {
+	cp := *cs
+	cp.x = append([]float64(nil), cs.x...)
+	return &cp
 }
 
 func newCutSolver(golden *sta.Result, model *Model, opt Options) (*cutSolver, error) {
@@ -65,7 +114,7 @@ func newCutSolver(golden *sta.Result, model *Model, opt Options) (*cutSolver, er
 		golden: golden, model: model, opt: opt, grid: grid,
 		gridOf: gateGrid(in, grid), order: order,
 		nG:   grid.Cells(),
-		seen: make(map[string]bool),
+		pool: &cutPool{seen: make(map[string]bool)},
 	}
 	cs.nVar = cs.nG
 	if opt.BothLayers {
@@ -147,9 +196,18 @@ func (cs *cutSolver) makeCut(p *sta.Path, x []float64) cut {
 			}
 		}
 	}
+	// Emit columns in sorted order: map iteration order would vary run
+	// to run, reassociating the floating-point sum below and making
+	// cut.nom (hence the whole solve trajectory) nondeterministic.
+	cols := make([]int, 0, len(coeff))
+	for col := range coeff {
+		cols = append(cols, col)
+	}
+	sort.Ints(cols)
 	c := cut{}
 	lin := 0.0
-	for col, v := range coeff {
+	for _, col := range cols {
+		v := coeff[col]
 		c.cols = append(c.cols, col)
 		c.vals = append(c.vals, v)
 		lin += v * x[col]
@@ -159,30 +217,17 @@ func (cs *cutSolver) makeCut(p *sta.Path, x []float64) cut {
 }
 
 func (c cut) signature() string {
-	// Stable enough: columns are map-ordered, so sort by building a
-	// canonical string of col:val pairs rounded to fixed precision.
-	type pair struct {
-		col int
-		val float64
-	}
-	pairs := make([]pair, len(c.cols))
-	for i := range c.cols {
-		pairs[i] = pair{c.cols[i], c.vals[i]}
-	}
-	for i := 1; i < len(pairs); i++ {
-		for j := i; j > 0 && pairs[j].col < pairs[j-1].col; j-- {
-			pairs[j], pairs[j-1] = pairs[j-1], pairs[j]
-		}
-	}
+	// Columns are emitted sorted by makeCut, so the signature is
+	// canonical as-is.
 	s := fmt.Sprintf("%.2f|", c.nom)
-	for _, p := range pairs {
-		s += fmt.Sprintf("%d:%.4f;", p.col, p.val)
+	for i := range c.cols {
+		s += fmt.Sprintf("%d:%.4f;", c.cols[i], c.vals[i])
 	}
 	return s
 }
 
 // buildProblem assembles the current QP: box + smoothness + cuts.
-func (cs *cutSolver) buildProblem(tau float64) *qp.Problem {
+func (cs *cutSolver) buildProblem(tau float64, cuts []cut) *qp.Problem {
 	opt := cs.opt
 	nLayers := 1
 	if opt.BothLayers {
@@ -253,7 +298,7 @@ func (cs *cutSolver) buildProblem(tau float64) *qp.Problem {
 			}
 		}
 	}
-	for _, c := range cs.cuts {
+	for _, c := range cuts {
 		r := addRow(-inf, tau-c.nom)
 		for i := range c.cols {
 			entries = append(entries, entry{r, c.cols[i], c.vals[i]})
@@ -271,8 +316,10 @@ func (cs *cutSolver) buildProblem(tau float64) *qp.Problem {
 // (cuts only shrink the feasible set, so the round objectives are
 // non-decreasing — once above the budget the probe can never recover).
 // Pass +Inf for a plain QP solve.  It returns the model objective in nW;
-// feasible is false when the probe is infeasible or over budget.
-func (cs *cutSolver) solveTau(tau, xiNW float64) (obj float64, feasible bool, err error) {
+// feasible is false when the probe is infeasible or over budget.  A
+// canceled context aborts between cut rounds with an error wrapping
+// context.Canceled.
+func (cs *cutSolver) solveTau(ctx context.Context, tau, xiNW float64) (obj float64, feasible bool, err error) {
 	opt := cs.opt
 	tolPs := opt.CutTolPs
 	if tolPs <= 0 {
@@ -287,8 +334,11 @@ func (cs *cutSolver) solveTau(tau, xiNW float64) (obj float64, feasible bool, er
 		perRound = 64
 	}
 	for round := 0; round < maxRounds; round++ {
+		if err := ctx.Err(); err != nil {
+			return 0, false, fmt.Errorf("core: cut probe canceled at round %d: %w", round, err)
+		}
 		cs.rounds++
-		prob := cs.buildProblem(tau)
+		prob := cs.buildProblem(tau, cs.pool.snapshot())
 		solver, err := qp.NewSolver(prob, opt.QP)
 		if err != nil {
 			return 0, false, err
@@ -296,8 +346,11 @@ func (cs *cutSolver) solveTau(tau, xiNW float64) (obj float64, feasible bool, er
 		if err := solver.WarmStart(cs.x, nil); err != nil {
 			return 0, false, err
 		}
-		res := solver.Solve()
+		res, err := solver.SolveCtx(ctx)
 		cs.solves++
+		if err != nil {
+			return 0, false, err
+		}
 		if res.Status == qp.PrimalInfeasible {
 			return 0, false, nil
 		}
@@ -313,8 +366,11 @@ func (cs *cutSolver) solveTau(tau, xiNW float64) (obj float64, feasible bool, er
 			if err := solver.WarmStart(res.X, res.Y); err != nil {
 				return 0, false, err
 			}
-			res = solver.Solve()
+			res, err = solver.SolveCtx(ctx)
 			cs.solves++
+			if err != nil {
+				return 0, false, err
+			}
 			if res.Status == qp.PrimalInfeasible {
 				return 0, false, nil
 			}
@@ -361,14 +417,9 @@ func (cs *cutSolver) solveTau(tau, xiNW float64) (obj float64, feasible bool, er
 			if p.Delay <= tau+tolPs/2 {
 				break // paths arrive in non-increasing delay order
 			}
-			c := cs.makeCut(p, cs.x)
-			sig := c.signature()
-			if cs.seen[sig] {
-				continue
+			if cs.pool.add(cs.makeCut(p, cs.x)) {
+				added++
 			}
-			cs.seen[sig] = true
-			cs.cuts = append(cs.cuts, c)
-			added++
 		}
 		if added == 0 {
 			// All violating paths already cut but the QP solution still
@@ -417,17 +468,18 @@ func (cs *cutSolver) layers() dosemap.Layers {
 }
 
 // result packages the current iterate like the node-based path does.
-func (cs *cutSolver) result(probes int) (*Result, error) {
+func (cs *cutSolver) result(ctx context.Context, probes int) (*Result, error) {
 	layers := cs.layers()
 	// Reuse problem.predict via a light adapter.
 	p := &problem{in: cs.golden.In, opt: cs.opt, model: cs.model, golden: cs.golden,
 		grid: cs.grid, gridOf: cs.gridOf, nG: cs.nG}
 	predMCT, predLeak := p.predict(layers)
 	nominal := Eval{MCTps: cs.golden.MCT, LeakUW: nominalLeak(cs.golden)}
-	gold, err := signoff(cs.golden, cs.opt, layers)
+	gold, err := signoff(ctx, cs.golden, cs.opt, layers)
 	if err != nil {
 		return nil, err
 	}
+	nCuts := cs.pool.size()
 	return &Result{
 		Layers:          layers,
 		PredMCT:         predMCT,
@@ -435,8 +487,8 @@ func (cs *cutSolver) result(probes int) (*Result, error) {
 		Nominal:         nominal,
 		Golden:          gold,
 		Probes:          probes,
-		Rows:            len(cs.cuts),
+		Rows:            nCuts,
 		Cols:            cs.nVar,
-		Status:          fmt.Sprintf("cuts=%d rounds=%d solves=%d", len(cs.cuts), cs.rounds, cs.solves),
+		Status:          fmt.Sprintf("cuts=%d rounds=%d solves=%d", nCuts, cs.rounds, cs.solves),
 	}, nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -9,6 +10,7 @@ import (
 	"repro/internal/dosemap"
 	"repro/internal/liberty"
 	"repro/internal/netlist"
+	"repro/internal/par"
 	"repro/internal/power"
 	"repro/internal/qp"
 	"repro/internal/sta"
@@ -56,6 +58,30 @@ type Options struct {
 	QP qp.Settings
 	// STA sets golden-analysis boundary conditions.
 	STA sta.Config
+	// Workers is the one knob that reaches every layer: golden STA
+	// levels, solver reductions, and model fitting all fan out on up to
+	// Workers goroutines.  Zero selects runtime.GOMAXPROCS(0).  Results
+	// are bit-identical for every worker count.
+	Workers int
+	// Speculate lets the QCP bisection run probes concurrently,
+	// sharing the cut pool under a mutex.  Off by default because the
+	// extra probes enrich the pool and thereby change (slightly) the
+	// warm-start trajectory: the result is still a valid optimum but
+	// not bit-identical to the serial bisection.
+	Speculate bool
+}
+
+// normalized propagates the top-level Workers knob into the nested
+// solver and STA configurations (without overriding explicit per-layer
+// settings).
+func (o Options) normalized() Options {
+	if o.QP.Workers == 0 {
+		o.QP.Workers = o.Workers
+	}
+	if o.STA.Workers == 0 {
+		o.STA.Workers = o.Workers
+	}
+	return o
 }
 
 // Method selects the DMopt solve engine.
@@ -486,11 +512,11 @@ func clamp(v, lo, hi float64) float64 {
 }
 
 // signoff applies the layers to the design and runs golden STA + power.
-func signoff(golden *sta.Result, opt Options, layers dosemap.Layers) (Eval, error) {
+func signoff(ctx context.Context, golden *sta.Result, opt Options, layers dosemap.Layers) (Eval, error) {
 	in := golden.In
 	dL, dW := layers.PerGate(in.Circ, in.Pl, opt.Snap)
 	pert := &sta.Perturb{DL: dL, DW: dW}
-	r, err := sta.Analyze(in, opt.STA, pert)
+	r, err := sta.AnalyzeCtx(ctx, in, opt.STA, pert)
 	if err != nil {
 		return Eval{}, err
 	}
@@ -561,7 +587,15 @@ func snapLeakMargin(model *Model) float64 {
 // Constraint" (Section III-A.1 / III-B.1): minimize Δleakage subject to
 // MCT ≤ tau (ps) plus range and smoothness constraints.
 func DMoptQP(golden *sta.Result, model *Model, opt Options, tau float64) (*Result, error) {
+	return DMoptQPCtx(context.Background(), golden, model, opt, tau)
+}
+
+// DMoptQPCtx is DMoptQP with cancellation: a canceled context aborts
+// the solve between cut rounds / ADMM iterations with an error that
+// wraps context.Canceled.
+func DMoptQPCtx(ctx context.Context, golden *sta.Result, model *Model, opt Options, tau float64) (*Result, error) {
 	start := time.Now()
+	opt = opt.normalized()
 	if tau <= 0 {
 		return nil, errors.New("core: non-positive timing constraint")
 	}
@@ -570,14 +604,14 @@ func DMoptQP(golden *sta.Result, model *Model, opt Options, tau float64) (*Resul
 		if err != nil {
 			return nil, err
 		}
-		_, feasible, err := cs.solveTau(tau, math.Inf(1))
+		_, feasible, err := cs.solveTau(ctx, tau, math.Inf(1))
 		if err != nil {
 			return nil, err
 		}
 		if !feasible {
 			return nil, fmt.Errorf("core: QP infeasible at τ = %.1f ps", tau)
 		}
-		r, err := cs.result(1)
+		r, err := cs.result(ctx, 1)
 		if err != nil {
 			return nil, err
 		}
@@ -592,11 +626,14 @@ func DMoptQP(golden *sta.Result, model *Model, opt Options, tau float64) (*Resul
 	if err != nil {
 		return nil, err
 	}
-	res := solver.Solve()
+	res, err := solver.SolveCtx(ctx)
+	if err != nil {
+		return nil, err
+	}
 	if res.Status == qp.PrimalInfeasible {
 		return nil, fmt.Errorf("core: QP infeasible at τ = %.1f ps", tau)
 	}
-	return finish(prob, res, 1, start)
+	return finish(ctx, prob, res, 1, start)
 }
 
 // DMoptQCP solves "Dose Map Optimization for Improved Timing Under
@@ -606,7 +643,15 @@ func DMoptQP(golden *sta.Result, model *Model, opt Options, tau float64) (*Resul
 // the feasibility oracle: minLeak(τ) is non-increasing in τ, so
 // τ is feasible iff minLeak(τ) ≤ ξ.
 func DMoptQCP(golden *sta.Result, model *Model, opt Options) (*Result, error) {
+	return DMoptQCPCtx(context.Background(), golden, model, opt)
+}
+
+// DMoptQCPCtx is DMoptQCP with cancellation: a canceled context aborts
+// the bisection between probes (and probes between cut rounds / ADMM
+// iterations) with an error that wraps context.Canceled.
+func DMoptQCPCtx(ctx context.Context, golden *sta.Result, model *Model, opt Options) (*Result, error) {
 	start := time.Now()
+	opt = opt.normalized()
 	// Lower bound: linear-model MCT at the fastest reachable dose.
 	_, tLo := linearArrivals(golden, func(id int) float64 {
 		if golden.In.Masters[id] == nil {
@@ -622,7 +667,7 @@ func DMoptQCP(golden *sta.Result, model *Model, opt Options) (*Result, error) {
 		opt.XiNW -= snapLeakMargin(model)
 	}
 	if opt.Method == MethodCuts {
-		return qcpByCuts(golden, model, opt, tLo, tHi, start)
+		return qcpByCuts(ctx, golden, model, opt, tLo, tHi, start)
 	}
 	prob, err := assemble(golden, model, opt, tLo-1, tHi)
 	if err != nil {
@@ -646,7 +691,10 @@ func DMoptQCP(golden *sta.Result, model *Model, opt Options) (*Result, error) {
 		if err := prob.setBoundsTau(solver, mid); err != nil {
 			return nil, err
 		}
-		res := solver.Solve()
+		res, err := solver.SolveCtx(ctx)
+		if err != nil {
+			return nil, err
+		}
 		probes++
 		feasible := res.Status == qp.Solved && res.Obj <= opt.XiNW+xiTol &&
 			prob.qpProb.MaxViolation(res.X) < 0.05
@@ -661,7 +709,7 @@ func DMoptQCP(golden *sta.Result, model *Model, opt Options) (*Result, error) {
 	if best == nil {
 		return nil, errors.New("core: QCP bisection found no feasible clock period")
 	}
-	r, err := finish(prob, best, probes, start)
+	r, err := finish(ctx, prob, best, probes, start)
 	if err != nil {
 		return nil, err
 	}
@@ -673,7 +721,7 @@ func DMoptQCP(golden *sta.Result, model *Model, opt Options) (*Result, error) {
 
 // qcpByCuts runs the clock-period bisection on the cutting-plane engine.
 // The cut pool is shared across probes: a path cut is valid for every τ.
-func qcpByCuts(golden *sta.Result, model *Model, opt Options, tLo, tHi float64, start time.Time) (*Result, error) {
+func qcpByCuts(ctx context.Context, golden *sta.Result, model *Model, opt Options, tLo, tHi float64, start time.Time) (*Result, error) {
 	cs, err := newCutSolver(golden, model, opt)
 	if err != nil {
 		return nil, err
@@ -682,19 +730,76 @@ func qcpByCuts(golden *sta.Result, model *Model, opt Options, tLo, tHi float64, 
 	var bestX []float64
 	probes := 0
 	lo, hi := tLo, tHi
-	for probes < opt.MaxProbes && (hi-lo) > opt.BisectTol*golden.MCT {
-		mid := 0.5 * (lo + hi)
-		if probes == 0 {
-			mid = hi
+
+	// probe solves one clock-period candidate and reports whether it
+	// fits the leakage budget; solver trouble counts as infeasible
+	// rather than aborting the whole bisection, but cancellation
+	// propagates.
+	probe := func(s *cutSolver, tau float64) (bool, error) {
+		obj, feasible, err := s.solveTau(ctx, tau, opt.XiNW)
+		if err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				return false, err
+			}
+			return false, nil
 		}
-		obj, feasible, err := cs.solveTau(mid, opt.XiNW)
+		return feasible && obj <= opt.XiNW+xiTol, nil
+	}
+
+	// First probe at the nominal period must be feasible.
+	ok, err := probe(cs, hi)
+	probes++
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, errors.New("core: QCP bisection found no feasible clock period")
+	}
+	bestX = append(bestX[:0], cs.x...)
+
+	speculative := opt.Speculate && par.Workers(opt.Workers) > 1
+	for probes < opt.MaxProbes && (hi-lo) > opt.BisectTol*golden.MCT {
+		if speculative && opt.MaxProbes-probes >= 2 {
+			// Trisect: two concurrent probes sharing the cut pool.
+			// minLeak(τ) is non-increasing, so feasibility at m1 < m2
+			// narrows the interval to a third per round.
+			m1 := lo + (hi-lo)/3
+			m2 := lo + 2*(hi-lo)/3
+			p1, p2 := cs.clone(), cs.clone()
+			baseRounds, baseSolves := cs.rounds, cs.solves
+			res, err := par.Map(ctx, 2, 2, func(i int) (bool, error) {
+				if i == 0 {
+					return probe(p1, m1)
+				}
+				return probe(p2, m2)
+			})
+			if err != nil {
+				return nil, err
+			}
+			probes += 2
+			cs.rounds = baseRounds + (p1.rounds - baseRounds) + (p2.rounds - baseRounds)
+			cs.solves = baseSolves + (p1.solves - baseSolves) + (p2.solves - baseSolves)
+			switch {
+			case res[0]:
+				hi = m1
+				copy(cs.x, p1.x)
+				bestX = append(bestX[:0], p1.x...)
+			case res[1]:
+				lo, hi = m1, m2
+				copy(cs.x, p2.x)
+				bestX = append(bestX[:0], p2.x...)
+			default:
+				lo = m2
+			}
+			continue
+		}
+		mid := 0.5 * (lo + hi)
+		ok, err := probe(cs, mid)
 		probes++
 		if err != nil {
-			// Treat solver trouble at this probe as infeasible rather
-			// than aborting the whole bisection.
-			feasible = false
+			return nil, err
 		}
-		if feasible && obj <= opt.XiNW+xiTol {
+		if ok {
 			hi = mid
 			bestX = append(bestX[:0], cs.x...)
 		} else {
@@ -705,7 +810,7 @@ func qcpByCuts(golden *sta.Result, model *Model, opt Options, tLo, tHi float64, 
 		return nil, errors.New("core: QCP bisection found no feasible clock period")
 	}
 	copy(cs.x, bestX)
-	r, err := cs.result(probes)
+	r, err := cs.result(ctx, probes)
 	if err != nil {
 		return nil, err
 	}
@@ -725,11 +830,11 @@ func minDelayDeltaFor(model *Model, opt Options, id int) float64 {
 	return math.Min(v, 0)
 }
 
-func finish(prob *problem, res *qp.Result, probes int, start time.Time) (*Result, error) {
+func finish(ctx context.Context, prob *problem, res *qp.Result, probes int, start time.Time) (*Result, error) {
 	layers := prob.extract(res.X)
 	predMCT, predLeak := prob.predict(layers)
 	nominal := Eval{MCTps: prob.golden.MCT, LeakUW: power.Total(prob.in.Masters, nil, nil)}
-	golden, err := signoff(prob.golden, prob.opt, layers)
+	golden, err := signoff(ctx, prob.golden, prob.opt, layers)
 	if err != nil {
 		return nil, err
 	}

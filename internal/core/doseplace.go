@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -72,16 +73,25 @@ type DosePlResult struct {
 // rollback per round.  The placement inside golden.In is mutated in
 // place when rounds are accepted.
 func DosePl(golden *sta.Result, layers dosemap.Layers, opt Options, dopt DosePlOptions) (*DosePlResult, error) {
+	return DosePlCtx(context.Background(), golden, layers, opt, dopt)
+}
+
+// DosePlCtx is DosePl with cancellation: a canceled context aborts
+// between swap rounds (leaving the placement in its last consistent
+// accepted-or-rolled-back state) with an error wrapping
+// context.Canceled.
+func DosePlCtx(ctx context.Context, golden *sta.Result, layers dosemap.Layers, opt Options, dopt DosePlOptions) (*DosePlResult, error) {
 	in := golden.In
 	pl := in.Pl
 	circ := in.Circ
+	opt = opt.normalized()
 	if layers.Poly == nil {
 		return nil, fmt.Errorf("core: dosePl needs a poly dose map")
 	}
 	res := &DosePlResult{}
 	evalNow := func() (Eval, *sta.Result, error) {
 		dL, dW := layers.PerGate(circ, pl, opt.Snap)
-		r, err := sta.Analyze(in, opt.STA, &sta.Perturb{DL: dL, DW: dW})
+		r, err := sta.AnalyzeCtx(ctx, in, opt.STA, &sta.Perturb{DL: dL, DW: dW})
 		if err != nil {
 			return Eval{}, nil, err
 		}
@@ -99,6 +109,9 @@ func DosePl(golden *sta.Result, layers dosemap.Layers, opt Options, dopt DosePlO
 	maxDist := dopt.Gamma2 * gatePitch
 
 	for round := 0; round < dopt.Rounds; round++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: dosePl canceled at round %d: %w", round, err)
+		}
 		// Snapshot for rollback.
 		snapX := append([]float64(nil), pl.X...)
 		snapY := append([]float64(nil), pl.Y...)

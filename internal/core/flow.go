@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -65,14 +66,29 @@ func GoldenNominal(d *gen.Design, cfg sta.Config) (*sta.Result, error) {
 	return sta.Analyze(InputOf(d), cfg, nil)
 }
 
+// GoldenNominalCtx is GoldenNominal with cancellation.
+func GoldenNominalCtx(ctx context.Context, d *gen.Design, cfg sta.Config) (*sta.Result, error) {
+	return sta.AnalyzeCtx(ctx, InputOf(d), cfg, nil)
+}
+
 // Run executes the Fig. 7 flow: golden analysis → coefficient fitting →
 // DMopt → golden signoff → optional dosePl rounds.
 func Run(d *gen.Design, cfg FlowConfig) (*FlowOutcome, error) {
-	golden, err := GoldenNominal(d, cfg.Opt.STA)
+	return RunCtx(context.Background(), d, cfg)
+}
+
+// RunCtx is Run with cancellation: a canceled context aborts whichever
+// stage is in flight — golden analysis between levels, fitting between
+// gates, DMopt between cut rounds / ADMM iterations / bisection
+// probes, dosePl between rounds — with an error wrapping
+// context.Canceled.
+func RunCtx(ctx context.Context, d *gen.Design, cfg FlowConfig) (*FlowOutcome, error) {
+	cfg.Opt = cfg.Opt.normalized()
+	golden, err := GoldenNominalCtx(ctx, d, cfg.Opt.STA)
 	if err != nil {
 		return nil, err
 	}
-	model, err := FitModel(golden, cfg.Opt.BothLayers)
+	model, err := FitModelCtx(ctx, golden, cfg.Opt.BothLayers, cfg.Opt.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -83,9 +99,9 @@ func Run(d *gen.Design, cfg FlowConfig) (*FlowOutcome, error) {
 		if tau <= 0 {
 			tau = golden.MCT
 		}
-		dm, err = DMoptQP(golden, model, cfg.Opt, tau)
+		dm, err = DMoptQPCtx(ctx, golden, model, cfg.Opt, tau)
 	case ModeQCPTiming:
-		dm, err = DMoptQCP(golden, model, cfg.Opt)
+		dm, err = DMoptQCPCtx(ctx, golden, model, cfg.Opt)
 	default:
 		err = fmt.Errorf("core: unknown flow mode %v", cfg.Mode)
 	}
@@ -94,7 +110,7 @@ func Run(d *gen.Design, cfg FlowConfig) (*FlowOutcome, error) {
 	}
 	out := &FlowOutcome{Golden: golden, Model: model, DM: dm, Final: dm.Golden}
 	if cfg.RunDosePl {
-		dp, err := DosePl(golden, dm.Layers, cfg.Opt, cfg.DosePl)
+		dp, err := DosePlCtx(ctx, golden, dm.Layers, cfg.Opt, cfg.DosePl)
 		if err != nil {
 			return nil, err
 		}
@@ -137,7 +153,12 @@ func PathSlackProfile(r *sta.Result, k, maxStates int, period float64) []float64
 // EvalPerturb runs golden STA + power on an arbitrary perturbation and
 // returns the signoff snapshot (used by the uniform-dose sweep tables).
 func EvalPerturb(in sta.Input, cfg sta.Config, pert *sta.Perturb) (Eval, *sta.Result, error) {
-	r, err := sta.Analyze(in, cfg, pert)
+	return EvalPerturbCtx(context.Background(), in, cfg, pert)
+}
+
+// EvalPerturbCtx is EvalPerturb with cancellation.
+func EvalPerturbCtx(ctx context.Context, in sta.Input, cfg sta.Config, pert *sta.Perturb) (Eval, *sta.Result, error) {
+	r, err := sta.AnalyzeCtx(ctx, in, cfg, pert)
 	if err != nil {
 		return Eval{}, nil, err
 	}

@@ -9,11 +9,13 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
 	"repro/internal/fit"
 	"repro/internal/liberty"
+	"repro/internal/par"
 	"repro/internal/sta"
 	"repro/internal/tech"
 )
@@ -55,17 +57,28 @@ var coarseDeltas = []float64{-10, -5, 0, 5, 10}
 // (input slew, output load) of the golden analysis r.  If bothLayers is
 // false the width terms B and γ stay zero (poly-only optimization).
 func FitModel(r *sta.Result, bothLayers bool) (*Model, error) {
+	return FitModelCtx(context.Background(), r, bothLayers, 0)
+}
+
+// FitModelCtx is FitModel with cancellation and a worker-count knob:
+// the per-gate fits are independent (each writes only its own
+// coefficient slots) and fan out across up to workers goroutines, with
+// the SSR maxima reduced serially in gate order afterwards — the
+// fitted model is bit-identical for every worker count.
+func FitModelCtx(ctx context.Context, r *sta.Result, bothLayers bool, workers int) (*Model, error) {
 	in := r.In
 	n := in.Circ.NumGates()
 	m := &Model{
 		A: make([]float64, n), B: make([]float64, n),
 		Alpha: make([]float64, n), Beta: make([]float64, n), Gamma: make([]float64, n),
 	}
+	delaySSR := make([]float64, n)
+	leakSSR := make([]float64, n)
 	dls := doseLSamples()
-	for id := range in.Circ.Gates {
+	err := par.Do(ctx, n, workers, func(id int) error {
 		master := in.Masters[id]
 		if master == nil {
-			continue
+			return nil
 		}
 		slew, load := r.InSlew[id], r.Load[id]
 		nomD := master.Delay(0, 0, slew, load)
@@ -79,17 +92,16 @@ func FitModel(r *sta.Result, bothLayers bool) (*Model, error) {
 			}
 			dc, err := fit.FitDelayL(dls, dd, nomD)
 			if err != nil {
-				return nil, fmt.Errorf("core: delay fit for gate %d: %w", id, err)
+				return fmt.Errorf("core: delay fit for gate %d: %w", id, err)
 			}
 			lc, err := fit.FitLeakL(dls, dk, nomL)
 			if err != nil {
-				return nil, fmt.Errorf("core: leakage fit for gate %d: %w", id, err)
+				return fmt.Errorf("core: leakage fit for gate %d: %w", id, err)
 			}
 			m.A[id] = dc.A
 			m.Alpha[id], m.Beta[id] = lc.Alpha, lc.Beta
-			m.MaxDelaySSR = maxf(m.MaxDelaySSR, dc.SSR)
-			m.MaxLeakSSR = maxf(m.MaxLeakSSR, lc.SSR)
-			continue
+			delaySSR[id], leakSSR[id] = dc.SSR, lc.SSR
+			return nil
 		}
 		var sdl, sdw, dd, dk []float64
 		for _, dl := range coarseDeltas {
@@ -102,16 +114,23 @@ func FitModel(r *sta.Result, bothLayers bool) (*Model, error) {
 		}
 		dc, err := fit.FitDelay(sdl, sdw, dd, nomD)
 		if err != nil {
-			return nil, fmt.Errorf("core: delay fit for gate %d: %w", id, err)
+			return fmt.Errorf("core: delay fit for gate %d: %w", id, err)
 		}
 		lc, err := fit.FitLeak(sdl, sdw, dk, nomL)
 		if err != nil {
-			return nil, fmt.Errorf("core: leakage fit for gate %d: %w", id, err)
+			return fmt.Errorf("core: leakage fit for gate %d: %w", id, err)
 		}
 		m.A[id], m.B[id] = dc.A, dc.B
 		m.Alpha[id], m.Beta[id], m.Gamma[id] = lc.Alpha, lc.Beta, lc.Gamma
-		m.MaxDelaySSR = maxf(m.MaxDelaySSR, dc.SSR)
-		m.MaxLeakSSR = maxf(m.MaxLeakSSR, lc.SSR)
+		delaySSR[id], leakSSR[id] = dc.SSR, lc.SSR
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for id := 0; id < n; id++ {
+		m.MaxDelaySSR = maxf(m.MaxDelaySSR, delaySSR[id])
+		m.MaxLeakSSR = maxf(m.MaxLeakSSR, leakSSR[id])
 	}
 	return m, nil
 }

@@ -9,16 +9,20 @@
 package expt
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/dosemap"
 	"repro/internal/gen"
 	"repro/internal/liberty"
+	"repro/internal/par"
 	"repro/internal/power"
 	"repro/internal/sta"
 	"repro/internal/tech"
@@ -85,68 +89,170 @@ func (t *Table) Markdown() string {
 
 // Context caches generated designs and golden analyses across
 // experiments (several tables share the same testcases).
+//
+// A Context is safe for concurrent use: the design and golden caches
+// are built at most once per testcase even under concurrent callers,
+// and the experiments that mutate a cached design's placement in place
+// (TableVIII, Fig10Profiles) serialize on an internal lock.  Every
+// experiment's numbers are bit-identical for every worker count.
 type Context struct {
 	// Scale shrinks every preset (1 = the full Table I sizes).
 	Scale float64
 	// K is the top-path count for path-based experiments.
 	K int
+	// Workers bounds the fan-out of every parallel stage the harness
+	// drives: concurrent table regeneration, the 21-point dose sweeps,
+	// and the Workers knobs of the underlying STA/fit/QP layers.  Zero
+	// selects runtime.GOMAXPROCS(0).
+	Workers int
 
-	designs map[string]*gen.Design
-	goldens map[string]*sta.Result
+	mu      sync.Mutex
+	designs map[string]*memo[*gen.Design]
+	goldens map[string]*memo[*sta.Result]
+	// plMu serializes the experiments that mutate a cached design's
+	// placement (TableVIII, Fig10Profiles): they snapshot and restore
+	// cell positions and must not interleave with each other or with
+	// concurrent placement readers of the same design.
+	plMu sync.Mutex
+}
+
+// memo is a build-once cache slot.  Unlike sync.Once, a build aborted
+// by context cancellation is NOT memoized: the next caller retries, so
+// one canceled table run cannot poison the harness cache forever.
+type memo[T any] struct {
+	mu   sync.Mutex
+	done bool
+	val  T
+	err  error
+}
+
+func (m *memo[T]) get(build func() (T, error)) (T, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.done {
+		return m.val, m.err
+	}
+	v, err := build()
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return v, err
+	}
+	m.done, m.val, m.err = true, v, err
+	return v, err
+}
+
+// Option configures a Context.
+type Option func(*Context)
+
+// WithScale shrinks every preset by the given factor in (0, 1];
+// anything out of range selects the full Table I sizes.
+func WithScale(scale float64) Option {
+	return func(c *Context) { c.Scale = scale }
+}
+
+// WithTopK sets the top-path count for path-based experiments; k ≤ 0
+// selects the paper's 10 000.
+func WithTopK(k int) Option {
+	return func(c *Context) { c.K = k }
+}
+
+// WithWorkers bounds the harness's parallel fan-out; n ≤ 0 selects
+// runtime.GOMAXPROCS(0).
+func WithWorkers(n int) Option {
+	return func(c *Context) { c.Workers = n }
+}
+
+// New returns a harness context with the paper's configuration (full
+// Table I design sizes, K = 10 000, GOMAXPROCS workers), adjusted by
+// the options.
+func New(opts ...Option) *Context {
+	c := &Context{Scale: 1, K: 10000}
+	for _, o := range opts {
+		o(c)
+	}
+	if c.Scale <= 0 || c.Scale > 1 {
+		c.Scale = 1
+	}
+	if c.K <= 0 {
+		c.K = 10000
+	}
+	if c.Workers < 0 {
+		c.Workers = 0
+	}
+	c.designs = make(map[string]*memo[*gen.Design])
+	c.goldens = make(map[string]*memo[*sta.Result])
+	return c
 }
 
 // NewContext returns a harness context.  scale in (0, 1]; k ≤ 0 selects
 // the paper's 10 000.
+//
+// Deprecated: use New with WithScale and WithTopK.
 func NewContext(scale float64, k int) *Context {
-	if scale <= 0 || scale > 1 {
-		scale = 1
-	}
-	if k <= 0 {
-		k = 10000
-	}
-	return &Context{
-		Scale:   scale,
-		K:       k,
-		designs: make(map[string]*gen.Design),
-		goldens: make(map[string]*sta.Result),
-	}
+	return New(WithScale(scale), WithTopK(k))
+}
+
+// staCfg is the golden-analysis config with the harness worker knob.
+func (c *Context) staCfg() sta.Config {
+	cfg := sta.DefaultConfig()
+	cfg.Workers = c.Workers
+	return cfg
 }
 
 // Design returns the (cached) design for a preset name.
 func (c *Context) Design(name string) (*gen.Design, error) {
-	if d, ok := c.designs[name]; ok {
-		return d, nil
+	return c.DesignCtx(context.Background(), name)
+}
+
+// DesignCtx is Design with cancellation.  Concurrent callers for the
+// same preset share a single generation.
+func (c *Context) DesignCtx(ctx context.Context, name string) (*gen.Design, error) {
+	c.mu.Lock()
+	if c.designs == nil {
+		c.designs = make(map[string]*memo[*gen.Design])
 	}
-	p, err := gen.PresetByName(name)
-	if err != nil {
-		return nil, err
+	e, ok := c.designs[name]
+	if !ok {
+		e = &memo[*gen.Design]{}
+		c.designs[name] = e
 	}
-	if c.Scale < 1 {
-		p = p.Scaled(c.Scale)
-	}
-	d, err := gen.Generate(p)
-	if err != nil {
-		return nil, err
-	}
-	c.designs[name] = d
-	return d, nil
+	c.mu.Unlock()
+	return e.get(func() (*gen.Design, error) {
+		p, err := gen.PresetByName(name)
+		if err != nil {
+			return nil, err
+		}
+		if c.Scale < 1 {
+			p = p.Scaled(c.Scale)
+		}
+		return gen.GenerateCtx(ctx, p)
+	})
 }
 
 // Golden returns the (cached) nominal analysis for a preset name.
 func (c *Context) Golden(name string) (*sta.Result, error) {
-	if r, ok := c.goldens[name]; ok {
-		return r, nil
+	return c.GoldenCtx(context.Background(), name)
+}
+
+// GoldenCtx is Golden with cancellation.  Concurrent callers for the
+// same preset share a single analysis.
+func (c *Context) GoldenCtx(ctx context.Context, name string) (*sta.Result, error) {
+	c.mu.Lock()
+	if c.goldens == nil {
+		c.goldens = make(map[string]*memo[*sta.Result])
 	}
-	d, err := c.Design(name)
-	if err != nil {
-		return nil, err
+	e, ok := c.goldens[name]
+	if !ok {
+		e = &memo[*sta.Result]{}
+		c.goldens[name] = e
 	}
-	r, err := core.GoldenNominal(d, sta.DefaultConfig())
-	if err != nil {
-		return nil, err
-	}
-	c.goldens[name] = r
-	return r, nil
+	c.mu.Unlock()
+	return e.get(func() (*sta.Result, error) {
+		d, err := c.DesignCtx(ctx, name)
+		if err != nil {
+			return nil, err
+		}
+		return core.GoldenNominalCtx(ctx, d, c.staCfg())
+	})
 }
 
 func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
@@ -234,13 +340,21 @@ func Fig2() *Table {
 
 // TableI reports the generated designs' characteristics.
 func (c *Context) TableI() (*Table, error) {
+	return c.TableICtx(context.Background())
+}
+
+// TableICtx is TableI with cancellation; the per-design generations fan
+// out across workers.
+func (c *Context) TableICtx(ctx context.Context) (*Table, error) {
 	t := &Table{
 		ID:     "Table I",
 		Title:  "characteristics of the synthetic testcases (Artisan TSMC stand-ins)",
 		Header: []string{"Design", "Chip size (mm²)", "#Cell instances", "#Nets", "depth", "#FF"},
 	}
-	for _, p := range gen.Presets() {
-		d, err := c.Design(p.Name)
+	presets := gen.Presets()
+	rows, err := par.Map(ctx, len(presets), par.Workers(c.Workers), func(i int) ([]string, error) {
+		p := presets[i]
+		d, err := c.DesignCtx(ctx, p.Name)
 		if err != nil {
 			return nil, err
 		}
@@ -249,11 +363,15 @@ func (c *Context) TableI() (*Table, error) {
 			return nil, err
 		}
 		area := d.Pl.ChipW * d.Pl.ChipH / 1e6
-		t.Rows = append(t.Rows, []string{
+		return []string{
 			p.Name, f3(area), fmt.Sprint(st.Cells), fmt.Sprint(st.Nets),
 			fmt.Sprint(st.Depth), fmt.Sprint(st.Seq),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = rows
 	if c.Scale < 1 {
 		t.Notes = fmt.Sprintf("designs scaled by %.2f for this run", c.Scale)
 	}
@@ -274,39 +392,53 @@ type DoseSweepRow struct {
 // DoseSweep sweeps a uniform poly-layer dose across the whole design and
 // reports golden MCT and leakage at each point (Tables II and III).
 func (c *Context) DoseSweep(design string, doses []float64) ([]DoseSweepRow, error) {
-	d, err := c.Design(design)
+	return c.DoseSweepCtx(context.Background(), design, doses)
+}
+
+// DoseSweepCtx is DoseSweep with cancellation.  The sweep points are
+// independent full golden analyses and fan out across workers; rows
+// come back in dose order and are bit-identical for every worker count.
+func (c *Context) DoseSweepCtx(ctx context.Context, design string, doses []float64) ([]DoseSweepRow, error) {
+	d, err := c.DesignCtx(ctx, design)
 	if err != nil {
 		return nil, err
 	}
 	in := core.InputOf(d)
-	cfg := sta.DefaultConfig()
+	cfg := c.staCfg()
 	n := d.Circ.NumGates()
 
-	nomEval, _, err := core.EvalPerturb(in, cfg, nil)
+	nomEval, _, err := core.EvalPerturbCtx(ctx, in, cfg, nil)
 	if err != nil {
 		return nil, err
 	}
-	rows := make([]DoseSweepRow, 0, len(doses))
-	for _, dose := range doses {
+	workers := par.Workers(c.Workers)
+	ptCfg := cfg
+	if workers > 1 {
+		// The points fan out across workers; keep each point's analysis
+		// serial inside to avoid nested oversubscription.  Either split
+		// of the same work yields bit-identical rows.
+		ptCfg.Workers = 1
+	}
+	return par.Map(ctx, len(doses), workers, func(i int) (DoseSweepRow, error) {
+		dose := doses[i]
 		dl := make([]float64, n)
 		for id, m := range d.Masters {
 			if m != nil {
 				dl[id] = tech.DoseToLength(dose)
 			}
 		}
-		ev, _, err := core.EvalPerturb(in, cfg, &sta.Perturb{DL: dl})
+		ev, _, err := core.EvalPerturbCtx(ctx, in, ptCfg, &sta.Perturb{DL: dl})
 		if err != nil {
-			return nil, err
+			return DoseSweepRow{}, err
 		}
-		rows = append(rows, DoseSweepRow{
+		return DoseSweepRow{
 			Dose:    dose,
 			MCTns:   ev.MCTps / 1000,
 			MCTImp:  100 * (1 - ev.MCTps/nomEval.MCTps),
 			LeakUW:  ev.LeakUW,
 			LeakImp: 100 * (1 - ev.LeakUW/nomEval.LeakUW),
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // SweepDoses returns the paper's 21 sweep points 0, ±0.5, …, ±5.
@@ -319,8 +451,8 @@ func SweepDoses() []float64 {
 	return out
 }
 
-func (c *Context) doseSweepTable(id, design string) (*Table, error) {
-	rows, err := c.DoseSweep(design, SweepDoses())
+func (c *Context) doseSweepTable(ctx context.Context, id, design string) (*Table, error) {
+	rows, err := c.DoseSweepCtx(ctx, design, SweepDoses())
 	if err != nil {
 		return nil, err
 	}
@@ -339,10 +471,20 @@ func (c *Context) doseSweepTable(id, design string) (*Table, error) {
 }
 
 // TableII is the AES-65 uniform dose sweep.
-func (c *Context) TableII() (*Table, error) { return c.doseSweepTable("Table II", "AES-65") }
+func (c *Context) TableII() (*Table, error) { return c.TableIICtx(context.Background()) }
+
+// TableIICtx is TableII with cancellation.
+func (c *Context) TableIICtx(ctx context.Context) (*Table, error) {
+	return c.doseSweepTable(ctx, "Table II", "AES-65")
+}
 
 // TableIII is the AES-90 uniform dose sweep.
-func (c *Context) TableIII() (*Table, error) { return c.doseSweepTable("Table III", "AES-90") }
+func (c *Context) TableIII() (*Table, error) { return c.TableIIICtx(context.Background()) }
+
+// TableIIICtx is TableIII with cancellation.
+func (c *Context) TableIIICtx(ctx context.Context) (*Table, error) {
+	return c.doseSweepTable(ctx, "Table III", "AES-90")
+}
 
 // --- Table IV: DMopt on poly layer ----------------------------------------
 
@@ -371,24 +513,31 @@ func gridsFor(design string, scale float64) []float64 {
 
 // RunDM runs one DMopt configuration on a design.
 func (c *Context) RunDM(design string, gridUm float64, qcp, bothLayers bool) (*core.Result, error) {
-	golden, err := c.Golden(design)
+	return c.RunDMCtx(context.Background(), design, gridUm, qcp, bothLayers)
+}
+
+// RunDMCtx is RunDM with cancellation; the fit, solver and signoff all
+// run with the harness worker knob.
+func (c *Context) RunDMCtx(ctx context.Context, design string, gridUm float64, qcp, bothLayers bool) (*core.Result, error) {
+	golden, err := c.GoldenCtx(ctx, design)
 	if err != nil {
 		return nil, err
 	}
-	model, err := core.FitModel(golden, bothLayers)
+	model, err := core.FitModelCtx(ctx, golden, bothLayers, c.Workers)
 	if err != nil {
 		return nil, err
 	}
 	opt := core.DefaultOptions()
 	opt.G = gridUm
 	opt.BothLayers = bothLayers
+	opt.Workers = c.Workers
 	if qcp {
-		return core.DMoptQCP(golden, model, opt)
+		return core.DMoptQCPCtx(ctx, golden, model, opt)
 	}
 	// Tighten τ a hair below the nominal MCT: the optimizer's linear
 	// delay model misses the slew compounding the golden analysis sees,
 	// so a small guard band keeps the signoff at or under nominal.
-	return core.DMoptQP(golden, model, opt, 0.99*golden.MCT)
+	return core.DMoptQPCtx(ctx, golden, model, opt, 0.99*golden.MCT)
 }
 
 func dmRow(design string, g float64, kind string, r *core.Result) DMRow {
@@ -402,37 +551,72 @@ func dmRow(design string, g float64, kind string, r *core.Result) DMRow {
 	}
 }
 
+// dmJob is one independent optimization run of a results table.
+type dmJob struct {
+	design string
+	grid   float64
+	qcp    bool
+	both   bool
+	label  string // engine or mode column
+}
+
+// runDMJobs fans the independent optimization runs across workers and
+// returns their results in job order.  Each run is bit-identical to a
+// serial execution, so only the Runtime column varies between worker
+// counts.
+func (c *Context) runDMJobs(ctx context.Context, jobs []dmJob) ([]DMRow, error) {
+	return par.Map(ctx, len(jobs), par.Workers(c.Workers), func(i int) (DMRow, error) {
+		j := jobs[i]
+		r, err := c.RunDMCtx(ctx, j.design, j.grid, j.qcp, j.both)
+		if err != nil {
+			return DMRow{}, fmt.Errorf("%s %s %g µm: %w", j.design, j.label, j.grid, err)
+		}
+		return dmRow(j.design, j.grid, j.label, r), nil
+	})
+}
+
 // TableIV runs QP and QCP poly-layer optimization over every design and
 // grid size.
 func (c *Context) TableIV() (*Table, []DMRow, error) {
+	return c.TableIVCtx(context.Background())
+}
+
+// TableIVCtx is TableIV with cancellation.  The 24 optimization runs
+// (4 designs × 3 grids × {QP, QCP}) are independent and fan out across
+// workers; rows assemble in the paper's fixed order afterwards.
+func (c *Context) TableIVCtx(ctx context.Context) (*Table, []DMRow, error) {
 	t := &Table{
 		ID:     "Table IV",
 		Title:  "dose map optimization on poly layer (Lgate modulation), δ=2, range ±5%",
 		Header: []string{"Design", "grid (µm)", "engine", "MCT (ns)", "imp. (%)", "Leakage (µW)", "imp. (%)", "runtime"},
 	}
-	var rows []DMRow
-	for _, p := range gen.Presets() {
-		golden, err := c.Golden(p.Name)
+	presets := gen.Presets()
+	var jobs []dmJob
+	for _, p := range presets {
+		for _, g := range gridsFor(p.Name, c.Scale) {
+			jobs = append(jobs,
+				dmJob{design: p.Name, grid: g, qcp: false, label: "QP"},
+				dmJob{design: p.Name, grid: g, qcp: true, label: "QCP"})
+		}
+	}
+	rows, err := c.runDMJobs(ctx, jobs)
+	if err != nil {
+		return nil, nil, err
+	}
+	ji := 0
+	for _, p := range presets {
+		golden, err := c.GoldenCtx(ctx, p.Name)
 		if err != nil {
 			return nil, nil, err
 		}
-		nomRow := []string{p.Name, "-", "Nom Lgate",
-			f3(golden.MCT / 1000), "-", f1(nominalLeakUW(c, p.Name)), "-", "-"}
-		t.Rows = append(t.Rows, nomRow)
-		for _, g := range gridsFor(p.Name, c.Scale) {
-			for _, qcp := range []bool{false, true} {
-				kind := "QP"
-				if qcp {
-					kind = "QCP"
-				}
-				r, err := c.RunDM(p.Name, g, qcp, false)
-				if err != nil {
-					return nil, nil, fmt.Errorf("%s %s %g µm: %w", p.Name, kind, g, err)
-				}
-				row := dmRow(p.Name, g, kind, r)
-				rows = append(rows, row)
+		t.Rows = append(t.Rows, []string{p.Name, "-", "Nom Lgate",
+			f3(golden.MCT / 1000), "-", f1(nominalLeakUW(c, p.Name)), "-", "-"})
+		for range gridsFor(p.Name, c.Scale) {
+			for k := 0; k < 2; k++ {
+				row := rows[ji]
+				ji++
 				t.Rows = append(t.Rows, []string{
-					p.Name, f1(g), kind, f3(row.MCTns), f2(row.MCTImp),
+					row.Design, f1(row.GridUm), row.Kind, f3(row.MCTns), f2(row.MCTImp),
 					f1(row.LeakUW), f2(row.LeakImp), row.Runtime.Round(time.Millisecond).String(),
 				})
 			}
@@ -453,7 +637,7 @@ func nominalLeakUW(c *Context, design string) float64 {
 
 // tableBoth compares Lgate-only against Lgate+Wgate modulation on the
 // 65 nm designs (QCP for Table V, QP for Table VI).
-func (c *Context) tableBoth(id string, qcp bool) (*Table, []DMRow, error) {
+func (c *Context) tableBoth(ctx context.Context, id string, qcp bool) (*Table, []DMRow, error) {
 	title := "QCP for improved timing"
 	if !qcp {
 		title = "QP for improved leakage"
@@ -464,41 +648,53 @@ func (c *Context) tableBoth(id string, qcp bool) (*Table, []DMRow, error) {
 		Header: []string{"Design", "grid (µm)", "mode", "MCT (ns)", "imp. (%)", "Leakage (µW)", "imp. (%)"},
 		Notes:  "gate-width modulation is a weak knob (±10 nm on ≥200 nm transistors), so 'Both' edges out 'Lgate' only slightly (Section V)",
 	}
-	var rows []DMRow
+	var jobs []dmJob
 	for _, name := range []string{"AES-65", "JPEG-65"} {
 		for _, g := range gridsFor(name, c.Scale) {
-			for _, both := range []bool{false, true} {
-				mode := "Lgate"
-				if both {
-					mode = "Both"
-				}
-				r, err := c.RunDM(name, g, qcp, both)
-				if err != nil {
-					return nil, nil, fmt.Errorf("%s %s %g µm: %w", name, mode, g, err)
-				}
-				row := dmRow(name, g, mode, r)
-				rows = append(rows, row)
-				t.Rows = append(t.Rows, []string{
-					name, f1(g), mode, f3(row.MCTns), f2(row.MCTImp), f1(row.LeakUW), f2(row.LeakImp),
-				})
-			}
+			jobs = append(jobs,
+				dmJob{design: name, grid: g, qcp: qcp, both: false, label: "Lgate"},
+				dmJob{design: name, grid: g, qcp: qcp, both: true, label: "Both"})
 		}
+	}
+	rows, err := c.runDMJobs(ctx, jobs)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, row := range rows {
+		t.Rows = append(t.Rows, []string{
+			row.Design, f1(row.GridUm), row.Kind, f3(row.MCTns), f2(row.MCTImp), f1(row.LeakUW), f2(row.LeakImp),
+		})
 	}
 	return t, rows, nil
 }
 
 // TableV is the QCP (timing) comparison on both layers.
-func (c *Context) TableV() (*Table, []DMRow, error) { return c.tableBoth("Table V", true) }
+func (c *Context) TableV() (*Table, []DMRow, error) { return c.TableVCtx(context.Background()) }
+
+// TableVCtx is TableV with cancellation.
+func (c *Context) TableVCtx(ctx context.Context) (*Table, []DMRow, error) {
+	return c.tableBoth(ctx, "Table V", true)
+}
 
 // TableVI is the QP (leakage) comparison on both layers.
-func (c *Context) TableVI() (*Table, []DMRow, error) { return c.tableBoth("Table VI", false) }
+func (c *Context) TableVI() (*Table, []DMRow, error) { return c.TableVICtx(context.Background()) }
+
+// TableVICtx is TableVI with cancellation.
+func (c *Context) TableVICtx(ctx context.Context) (*Table, []DMRow, error) {
+	return c.tableBoth(ctx, "Table VI", false)
+}
 
 // --- Table VII: criticality profile ---------------------------------------
 
 // Criticality returns the fraction of timing endpoints with arrival in
 // the given fraction bands of the MCT.
 func (c *Context) Criticality(design string) (f95, f90, f80 float64, err error) {
-	r, err := c.Golden(design)
+	return c.CriticalityCtx(context.Background(), design)
+}
+
+// CriticalityCtx is Criticality with cancellation.
+func (c *Context) CriticalityCtx(ctx context.Context, design string) (f95, f90, f80 float64, err error) {
+	r, err := c.GoldenCtx(ctx, design)
 	if err != nil {
 		return 0, 0, 0, err
 	}
@@ -529,19 +725,30 @@ func (c *Context) Criticality(design string) (f95, f90, f80 float64, err error) 
 // TableVII reports the percentage of critical timing paths (endpoints)
 // within delay bands of the MCT.
 func (c *Context) TableVII() (*Table, error) {
+	return c.TableVIICtx(context.Background())
+}
+
+// TableVIICtx is TableVII with cancellation; the per-design analyses
+// fan out across workers.
+func (c *Context) TableVIICtx(ctx context.Context) (*Table, error) {
 	t := &Table{
 		ID:     "Table VII",
 		Title:  "percentage of critical timing endpoints near the MCT",
 		Header: []string{"Design", "95-100% MCT (%)", "90-100% MCT (%)", "80-100% MCT (%)"},
 		Notes:  "the 65 nm testcases carry a near-critical 'slack wall' that limits DMopt headroom; the 90 nm testcases do not (Section V)",
 	}
-	for _, p := range gen.Presets() {
-		f95, f90, f80, err := c.Criticality(p.Name)
+	presets := gen.Presets()
+	rows, err := par.Map(ctx, len(presets), par.Workers(c.Workers), func(i int) ([]string, error) {
+		f95, f90, f80, err := c.CriticalityCtx(ctx, presets[i].Name)
 		if err != nil {
 			return nil, err
 		}
-		t.Rows = append(t.Rows, []string{p.Name, pct(f95), pct(f90), pct(f80)})
+		return []string{presets[i].Name, pct(f95), pct(f90), pct(f80)}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = rows
 	return t, nil
 }
 
@@ -563,35 +770,45 @@ func restorePlacement(d *gen.Design) func() {
 
 // TableVIII runs QCP followed by the cell-swapping placement rounds.
 func (c *Context) TableVIII() (*Table, error) {
+	return c.TableVIIICtx(context.Background())
+}
+
+// TableVIIICtx is TableVIII with cancellation.  It mutates cached
+// placements (restoring them afterwards) and therefore serializes with
+// Fig10Profiles on the harness placement lock.
+func (c *Context) TableVIIICtx(ctx context.Context) (*Table, error) {
+	c.plMu.Lock()
+	defer c.plMu.Unlock()
 	t := &Table{
 		ID:     "Table VIII",
 		Title:  "QCP for improved timing followed by incremental placement (dosePl)",
 		Header: []string{"Testcase", "stage", "MCT (ns)", "Leakage (µW)"},
 	}
 	for _, name := range []string{"AES-65", "JPEG-65"} {
-		golden, err := c.Golden(name)
+		golden, err := c.GoldenCtx(ctx, name)
 		if err != nil {
 			return nil, err
 		}
-		d, err := c.Design(name)
+		d, err := c.DesignCtx(ctx, name)
 		if err != nil {
 			return nil, err
 		}
 		restore := restorePlacement(d)
-		model, err := core.FitModel(golden, false)
+		model, err := core.FitModelCtx(ctx, golden, false, c.Workers)
 		if err != nil {
 			return nil, err
 		}
 		opt := core.DefaultOptions()
 		opt.G = gridsFor(name, c.Scale)[0]
-		dm, err := core.DMoptQCP(golden, model, opt)
+		opt.Workers = c.Workers
+		dm, err := core.DMoptQCPCtx(ctx, golden, model, opt)
 		if err != nil {
 			restore()
 			return nil, err
 		}
 		dopt := core.DefaultDosePlOptions()
 		dopt.K = c.K
-		dp, err := core.DosePl(golden, dm.Layers, opt, dopt)
+		dp, err := core.DosePlCtx(ctx, golden, dm.Layers, opt, dopt)
 		restore()
 		if err != nil {
 			return nil, err
@@ -609,21 +826,32 @@ func (c *Context) TableVIII() (*Table, error) {
 // original, after DMopt (QCP), after dosePl, and the "Bias" reference
 // where every gate on the top-K paths gets maximum dose.
 func (c *Context) Fig10Profiles(design string) (map[string][]float64, error) {
-	golden, err := c.Golden(design)
+	return c.Fig10ProfilesCtx(context.Background(), design)
+}
+
+// Fig10ProfilesCtx is Fig10Profiles with cancellation.  It mutates the
+// cached placement (restoring it afterwards) and therefore serializes
+// with TableVIII on the harness placement lock.
+func (c *Context) Fig10ProfilesCtx(ctx context.Context, design string) (map[string][]float64, error) {
+	c.plMu.Lock()
+	defer c.plMu.Unlock()
+	golden, err := c.GoldenCtx(ctx, design)
 	if err != nil {
 		return nil, err
 	}
-	d, err := c.Design(design)
+	d, err := c.DesignCtx(ctx, design)
 	if err != nil {
 		return nil, err
 	}
 	defer restorePlacement(d)()
-	model, err := core.FitModel(golden, false)
+	model, err := core.FitModelCtx(ctx, golden, false, c.Workers)
 	if err != nil {
 		return nil, err
 	}
 	opt := core.DefaultOptions()
 	opt.G = gridsFor(design, c.Scale)[0]
+	opt.Workers = c.Workers
+	opt.STA.Workers = c.Workers
 	k := c.K
 	maxStates := 60 * k
 
@@ -631,13 +859,13 @@ func (c *Context) Fig10Profiles(design string) (map[string][]float64, error) {
 	out := map[string][]float64{}
 	out["Orig"] = core.PathSlackProfile(golden, k, maxStates, period)
 
-	dm, err := core.DMoptQCP(golden, model, opt)
+	dm, err := core.DMoptQCPCtx(ctx, golden, model, opt)
 	if err != nil {
 		return nil, err
 	}
 	in := golden.In
 	dl, dw := dm.Layers.PerGate(in.Circ, in.Pl, opt.Snap)
-	dmRes, err := sta.Analyze(in, opt.STA, &sta.Perturb{DL: dl, DW: dw})
+	dmRes, err := sta.AnalyzeCtx(ctx, in, opt.STA, &sta.Perturb{DL: dl, DW: dw})
 	if err != nil {
 		return nil, err
 	}
@@ -645,18 +873,18 @@ func (c *Context) Fig10Profiles(design string) (map[string][]float64, error) {
 
 	dopt := core.DefaultDosePlOptions()
 	dopt.K = k
-	if _, err := core.DosePl(golden, dm.Layers, opt, dopt); err != nil {
+	if _, err := core.DosePlCtx(ctx, golden, dm.Layers, opt, dopt); err != nil {
 		return nil, err
 	}
 	dl2, dw2 := dm.Layers.PerGate(in.Circ, in.Pl, opt.Snap)
-	plRes, err := sta.Analyze(in, opt.STA, &sta.Perturb{DL: dl2, DW: dw2})
+	plRes, err := sta.AnalyzeCtx(ctx, in, opt.STA, &sta.Perturb{DL: dl2, DW: dw2})
 	if err != nil {
 		return nil, err
 	}
 	out["dosePl"] = core.PathSlackProfile(plRes, k, maxStates, period)
 
 	bias := core.BiasPerturb(golden, k, maxStates, opt.DoseHi)
-	biasRes, err := sta.Analyze(in, opt.STA, bias)
+	biasRes, err := sta.AnalyzeCtx(ctx, in, opt.STA, bias)
 	if err != nil {
 		return nil, err
 	}
@@ -666,7 +894,12 @@ func (c *Context) Fig10Profiles(design string) (map[string][]float64, error) {
 
 // Fig10 renders the slack profiles as a downsampled table.
 func (c *Context) Fig10(design string, points int) (*Table, error) {
-	profiles, err := c.Fig10Profiles(design)
+	return c.Fig10Ctx(context.Background(), design, points)
+}
+
+// Fig10Ctx is Fig10 with cancellation.
+func (c *Context) Fig10Ctx(ctx context.Context, design string, points int) (*Table, error) {
+	profiles, err := c.Fig10ProfilesCtx(ctx, design)
 	if err != nil {
 		return nil, err
 	}
@@ -700,6 +933,49 @@ func (c *Context) Fig10(design string, points int) (*Table, error) {
 	return t, nil
 }
 
+// --- full evaluation sweep -------------------------------------------------
+
+// AllTables regenerates the paper's whole evaluation in one call: the
+// read-only tables and figures fan out across workers (each internally
+// parallel as well), then the placement-mutating experiments
+// (Table VIII, Fig. 10) run serially.  Tables come back in the paper's
+// order and are bit-identical for every worker count (except reported
+// runtimes).
+func (c *Context) AllTables(ctx context.Context, fig10Design string) ([]*Table, error) {
+	if fig10Design == "" {
+		fig10Design = "AES-65"
+	}
+	readonly := []func(context.Context) (*Table, error){
+		func(context.Context) (*Table, error) { return Fig2(), nil },
+		func(context.Context) (*Table, error) { return Fig3(), nil },
+		func(context.Context) (*Table, error) { return Fig4(), nil },
+		func(context.Context) (*Table, error) { return Fig5(), nil },
+		func(context.Context) (*Table, error) { return Fig6(), nil },
+		c.TableICtx,
+		c.TableIICtx,
+		c.TableIIICtx,
+		func(ctx context.Context) (*Table, error) { t, _, err := c.TableIVCtx(ctx); return t, err },
+		func(ctx context.Context) (*Table, error) { t, _, err := c.TableVCtx(ctx); return t, err },
+		func(ctx context.Context) (*Table, error) { t, _, err := c.TableVICtx(ctx); return t, err },
+		c.TableVIICtx,
+	}
+	out, err := par.Map(ctx, len(readonly), par.Workers(c.Workers), func(i int) (*Table, error) {
+		return readonly[i](ctx)
+	})
+	if err != nil {
+		return nil, err
+	}
+	t8, err := c.TableVIIICtx(ctx)
+	if err != nil {
+		return nil, err
+	}
+	f10, err := c.Fig10Ctx(ctx, fig10Design, 24)
+	if err != nil {
+		return nil, err
+	}
+	return append(out, t8, f10), nil
+}
+
 // --- Extension: across-wafer delay variation (Section VI future work) ----
 
 // WaferVariation evaluates the paper's stated future-work direction:
@@ -710,12 +986,17 @@ func (c *Context) Fig10(design string, points int) (*Table, error) {
 // MCT spread before and after correction, measured by golden STA at the
 // best, median and worst field.
 func (c *Context) WaferVariation(design string) (*Table, error) {
-	d, err := c.Design(design)
+	return c.WaferVariationCtx(context.Background(), design)
+}
+
+// WaferVariationCtx is WaferVariation with cancellation.
+func (c *Context) WaferVariationCtx(ctx context.Context, design string) (*Table, error) {
+	d, err := c.DesignCtx(ctx, design)
 	if err != nil {
 		return nil, err
 	}
 	in := core.InputOf(d)
-	cfg := sta.DefaultConfig()
+	cfg := c.staCfg()
 	w, err := dosemap.NewWafer(300, 26, 33, 3)
 	if err != nil {
 		return nil, err
@@ -733,7 +1014,7 @@ func (c *Context) WaferVariation(design string) (*Table, error) {
 				dl[id] = biasNm
 			}
 		}
-		r, err := sta.Analyze(in, cfg, &sta.Perturb{DL: dl})
+		r, err := sta.AnalyzeCtx(ctx, in, cfg, &sta.Perturb{DL: dl})
 		if err != nil {
 			return 0, err
 		}

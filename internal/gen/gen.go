@@ -18,6 +18,7 @@
 package gen
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -226,6 +227,13 @@ func driveFor(lib *liberty.Library, fn string, fanouts int) *liberty.Master {
 
 // Generate builds the design for a preset.
 func Generate(p Preset) (*Design, error) {
+	return GenerateCtx(context.Background(), p)
+}
+
+// GenerateCtx is Generate with cancellation: a canceled context aborts
+// the endpoint-rewiring analyses (the expensive phase) with an error
+// wrapping context.Canceled.
+func GenerateCtx(ctx context.Context, p Preset) (*Design, error) {
 	node, err := tech.ByName(p.Tech)
 	if err != nil {
 		return nil, err
@@ -508,7 +516,7 @@ func Generate(p Preset) (*Design, error) {
 	}
 
 	d := &Design{Preset: p, Node: node, Lib: lib, Circ: circ, Pl: pl, Masters: masters}
-	if err := rewireEndpoints(d, rng); err != nil {
+	if err := rewireEndpoints(ctx, d, rng); err != nil {
 		return nil, err
 	}
 	if err := circ.Validate(); err != nil {
@@ -529,14 +537,14 @@ func Generate(p Preset) (*Design, error) {
 // netlists hit register timing with buffer insertion.  One analysis
 // drives the whole assignment, so the procedure is deterministic and
 // does not oscillate.
-func rewireEndpoints(d *Design, rng *rand.Rand) error {
+func rewireEndpoints(ctx context.Context, d *Design, rng *rand.Rand) error {
 	p := d.Preset
 	if p.Crit95 <= 0 {
 		return nil // no profile requested
 	}
 	cfg := sta.DefaultConfig()
 	in := sta.Input{Circ: d.Circ, Masters: d.Masters, Pl: d.Pl, Node: d.Node}
-	r, err := sta.Analyze(in, cfg, nil)
+	r, err := sta.AnalyzeCtx(ctx, in, cfg, nil)
 	if err != nil {
 		return err
 	}
@@ -775,7 +783,7 @@ func rewireEndpoints(d *Design, rng *rand.Rand) error {
 		// Rebuild the input view: addChain appends to the design slices,
 		// so earlier slice headers are stale.
 		in = sta.Input{Circ: d.Circ, Masters: d.Masters, Pl: d.Pl, Node: d.Node}
-		r, err = sta.Analyze(in, cfg, nil)
+		r, err = sta.AnalyzeCtx(ctx, in, cfg, nil)
 		if err != nil {
 			return err
 		}

@@ -13,6 +13,7 @@ package netlist
 import (
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // Kind classifies a node in the netlist.
@@ -62,12 +63,17 @@ type Gate struct {
 	Fanouts []int
 }
 
-// Circuit is a gate-level netlist.
+// Circuit is a gate-level netlist.  Once construction is complete the
+// circuit is safe for concurrent readers: the lazily computed caches
+// are guarded internally.  Mutations (AddGate, Connect, Disconnect)
+// must not race with readers.
 type Circuit struct {
 	Name  string
 	Gates []*Gate
 
-	topo []int // cached forward topological order
+	topoMu sync.Mutex
+	topo   []int // cached forward topological order
+	levels []int // cached logic levels (same guard and invalidation)
 }
 
 // New returns an empty circuit with the given name.
@@ -80,7 +86,7 @@ func New(name string) *Circuit {
 func (c *Circuit) AddGate(name, master string, kind Kind) *Gate {
 	g := &Gate{ID: len(c.Gates), Name: name, Master: master, Kind: kind}
 	c.Gates = append(c.Gates, g)
-	c.topo = nil
+	c.topo, c.levels = nil, nil
 	return g
 }
 
@@ -101,7 +107,7 @@ func (c *Circuit) Connect(from, to int) error {
 	}
 	f.Fanouts = append(f.Fanouts, to)
 	t.Fanins = append(t.Fanins, from)
-	c.topo = nil
+	c.topo, c.levels = nil, nil
 	return nil
 }
 
@@ -129,7 +135,7 @@ func (c *Circuit) Disconnect(from, to int) bool {
 			break
 		}
 	}
-	c.topo = nil
+	c.topo, c.levels = nil, nil
 	return true
 }
 
@@ -175,6 +181,8 @@ func timingEdgeBlocked(f *Gate) bool { return f.Kind == Seq }
 // sequential loops do not prevent ordering).  It returns an error if the
 // combinational logic itself contains a cycle.
 func (c *Circuit) TopoOrder() ([]int, error) {
+	c.topoMu.Lock()
+	defer c.topoMu.Unlock()
 	if c.topo != nil {
 		return c.topo, nil
 	}
@@ -260,10 +268,16 @@ func (c *Circuit) EndPoints() []int {
 
 // Levelize returns, for each gate, its logic level: the length of the
 // longest combinational path (in gate count) from any start point.
+// The result is cached and shared; callers must not mutate it.
 func (c *Circuit) Levelize() ([]int, error) {
 	order, err := c.TopoOrder()
 	if err != nil {
 		return nil, err
+	}
+	c.topoMu.Lock()
+	defer c.topoMu.Unlock()
+	if c.levels != nil {
+		return c.levels, nil
 	}
 	level := make([]int, len(c.Gates))
 	for _, id := range order {
@@ -277,6 +291,7 @@ func (c *Circuit) Levelize() ([]int, error) {
 			}
 		}
 	}
+	c.levels = level
 	return level, nil
 }
 

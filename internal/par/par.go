@@ -1,0 +1,200 @@
+// Package par is the deterministic parallel-execution substrate shared
+// by every hot layer of the flow: a bounded worker pool with ordered
+// result collection, deterministic error propagation, and
+// context.Context cancellation.
+//
+// Determinism contract.  Every helper in this package produces results
+// that are bit-identical for any worker count, including workers = 1:
+//
+//   - Do/Map dispatch items by index and each item writes only its own
+//     result slot, so the output never depends on completion order;
+//   - on error, the error of the *smallest* item index is returned, not
+//     the first one observed;
+//   - SumBlocks fixes the floating-point reduction tree by a constant
+//     block size chosen independently of the worker count, so partial
+//     sums are combined in the same order no matter how many goroutines
+//     computed them (no floating-point reassociation across workers).
+//
+// Cancellation contract.  When the context is canceled, in-flight items
+// finish but no new item starts, and the returned error wraps
+// ctx.Err(), so errors.Is(err, context.Canceled) holds.
+package par
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a worker-count knob: n > 0 is used as given, any
+// other value selects runtime.GOMAXPROCS(0) (one worker per schedulable
+// CPU, the package-wide default).
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Do runs f(i) for every i in [0, n) on at most workers goroutines.
+// Items are dispatched in index order from a shared counter.  The first
+// error by item index aborts the remaining (not yet started) items and
+// is returned; a canceled context stops dispatch and returns an error
+// wrapping ctx.Err().
+func Do(ctx context.Context, n, workers int, f func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("par: canceled after %d/%d items: %w", i, n, err)
+			}
+			if err := f(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		next    atomic.Int64
+		stopped atomic.Bool
+		mu      sync.Mutex
+		errIdx  = n
+		firstEr error
+		wg      sync.WaitGroup
+	)
+	fail := func(i int, err error) {
+		mu.Lock()
+		if i < errIdx {
+			errIdx, firstEr = i, err
+		}
+		mu.Unlock()
+		stopped.Store(true)
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				if stopped.Load() {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					stopped.Store(true)
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := f(i); err != nil {
+					fail(i, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstEr != nil {
+		return firstEr
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("par: canceled after %d/%d items: %w", min(int(next.Load()), n), n, err)
+	}
+	return nil
+}
+
+// Map runs f over [0, n) like Do and collects the results in index
+// order.  On error or cancellation the partial results are discarded.
+func Map[T any](ctx context.Context, n, workers int, f func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := Do(ctx, n, workers, func(i int) error {
+		v, err := f(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// SumBlockSize is the fixed reduction-block length of SumBlocks.  It is
+// a package constant — never derived from the worker count — so the
+// floating-point reduction tree is identical for every worker count.
+const SumBlockSize = 1024
+
+// SumBlocks computes Σ f(lo, hi) over consecutive [lo, hi) blocks of
+// fixed size SumBlockSize covering [0, n).  Blocks are evaluated
+// concurrently on up to workers goroutines; the block partials are then
+// folded serially in block order.  f must be a pure function of its
+// range (typically a partial dot product or partial norm).
+func SumBlocks(n, workers int, f func(lo, hi int) float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	nb := (n + SumBlockSize - 1) / SumBlockSize
+	if nb == 1 {
+		return f(0, n)
+	}
+	partial := make([]float64, nb)
+	Blocks(n, workers, func(b, lo, hi int) { partial[b] = f(lo, hi) })
+	s := 0.0
+	for _, p := range partial {
+		s += p
+	}
+	return s
+}
+
+// Blocks runs f(b, lo, hi) for each fixed-size block b covering [0, n):
+// block b spans [b·SumBlockSize, min((b+1)·SumBlockSize, n)).  Blocks
+// run concurrently on up to workers goroutines.  Use it for row-
+// partitioned matrix kernels where each output element is owned by
+// exactly one block.
+func Blocks(n, workers int, f func(b, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	nb := (n + SumBlockSize - 1) / SumBlockSize
+	workers = Workers(workers)
+	if workers > nb {
+		workers = nb
+	}
+	if workers == 1 || nb == 1 {
+		for b := 0; b < nb; b++ {
+			lo := b * SumBlockSize
+			hi := min(lo+SumBlockSize, n)
+			f(b, lo, hi)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				b := int(next.Add(1)) - 1
+				if b >= nb {
+					return
+				}
+				lo := b * SumBlockSize
+				hi := min(lo+SumBlockSize, n)
+				f(b, lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+}

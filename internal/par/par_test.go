@@ -1,0 +1,138 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapOrdered(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 32} {
+		out, err := Map(context.Background(), 100, workers, func(i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestDoSmallestIndexError(t *testing.T) {
+	// Several items fail; the error of the smallest index must win no
+	// matter which goroutine observes its failure first.
+	for _, workers := range []int{1, 4, 16} {
+		err := Do(context.Background(), 64, workers, func(i int) error {
+			if i%7 == 3 { // fails at 3, 10, 17, …
+				return fmt.Errorf("item %d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "item 3" {
+			t.Fatalf("workers=%d: err = %v, want item 3", workers, err)
+		}
+	}
+}
+
+func TestDoCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int32
+	done := make(chan error, 1)
+	go func() {
+		done <- Do(ctx, 1_000_000, 4, func(i int) error {
+			if started.Add(1) == 8 {
+				cancel()
+			}
+			time.Sleep(50 * time.Microsecond)
+			return nil
+		})
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want wrapped context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Do did not return after cancellation")
+	}
+	if n := started.Load(); n >= 1_000_000 {
+		t.Fatalf("cancellation did not stop dispatch (ran %d items)", n)
+	}
+}
+
+func TestDoPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	err := Do(ctx, 10, 1, func(i int) error { ran = true; return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran {
+		t.Fatal("no item may start on a pre-canceled context")
+	}
+}
+
+func TestSumBlocksDeterministic(t *testing.T) {
+	// The reduction must be bit-identical for every worker count,
+	// including sizes around the block boundary.
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{1, 1023, 1024, 1025, 10_000, 100_000} {
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = rng.NormFloat64() * float64(i%13)
+		}
+		sum := func(workers int) float64 {
+			return SumBlocks(n, workers, func(lo, hi int) float64 {
+				s := 0.0
+				for i := lo; i < hi; i++ {
+					s += v[i]
+				}
+				return s
+			})
+		}
+		want := sum(1)
+		for _, w := range []int{2, 3, 8, 64} {
+			if got := sum(w); got != want {
+				t.Fatalf("n=%d workers=%d: %v != %v (reduction not deterministic)", n, w, got, want)
+			}
+		}
+	}
+}
+
+func TestBlocksCoverage(t *testing.T) {
+	for _, n := range []int{1, 1024, 5000} {
+		for _, w := range []int{1, 4} {
+			seen := make([]atomic.Bool, n)
+			Blocks(n, w, func(b, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					if seen[i].Swap(true) {
+						t.Errorf("index %d covered twice", i)
+					}
+				}
+			})
+			for i := range seen {
+				if !seen[i].Load() {
+					t.Fatalf("n=%d workers=%d: index %d not covered", n, w, i)
+				}
+			}
+		}
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	if Workers(3) != 3 {
+		t.Fatal("explicit worker count must pass through")
+	}
+	if Workers(0) < 1 || Workers(-1) < 1 {
+		t.Fatal("default worker count must be at least 1")
+	}
+}

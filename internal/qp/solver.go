@@ -1,9 +1,12 @@
 package qp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
+
+	"repro/internal/par"
 )
 
 // Status reports how a solve terminated.
@@ -121,6 +124,11 @@ type Settings struct {
 	CGMaxIter   int
 	// TimeLimitIter aborts CG-heavy stalls; 0 means no extra bound.
 	EpsInfeas float64
+	// Workers bounds the fan-out of the CSR mat-vec and dot-product
+	// kernels inside CG.  Zero selects runtime.GOMAXPROCS(0).  All
+	// reductions use a fixed block order, so the solve trajectory is
+	// bit-identical for every worker count.
+	Workers int
 }
 
 // DefaultSettings returns the settings used across the flow.
@@ -375,14 +383,30 @@ func (s *Solver) UpdateBounds(l, u []float64) error {
 // Solve runs ADMM from the current iterate (zero on first use, or the
 // previous solution / warm start on subsequent calls).
 func (s *Solver) Solve() *Result {
+	res, _ := s.SolveCtx(context.Background())
+	return res
+}
+
+// SolveCtx is Solve with cancellation: the context is checked at every
+// ADMM iteration boundary, and a canceled context stops the loop
+// within one iteration, returning the best iterate so far together
+// with an error that wraps context.Canceled.
+func (s *Solver) SolveCtx(ctx context.Context) (*Result, error) {
 	n, m := s.n, s.m
 	set := s.set
+	workers := par.Workers(set.Workers)
 	res := &Result{Status: MaxIterations, RhoFinal: s.rho}
 
 	dyAcc := make([]float64, m) // accumulated δy for infeasibility cert
 	var lastPrim, lastDual float64
+	var cause error
 
 	for iter := 1; iter <= set.MaxIter; iter++ {
+		if err := ctx.Err(); err != nil {
+			cause = fmt.Errorf("qp: canceled at iteration %d: %w", iter, err)
+			res.Iters = iter - 1
+			break
+		}
 		// x-step: (P + σI + ρAᵀA) x̃ = σx − q + Aᵀ(ρz − y)
 		for i := 0; i < m; i++ {
 			s.tmp[i] = s.rho*s.z[i] - s.y[i]
@@ -406,7 +430,7 @@ func (s *Solver) Solve() *Result {
 		res.CGIters += s.cg(s.xt, s.rhs, cgTol)
 
 		// z̃ = A x̃
-		s.a.MulVec(s.zt, s.xt)
+		s.a.MulVecW(s.zt, s.xt, workers)
 
 		// Relaxation + updates.
 		for j := 0; j < n; j++ {
@@ -461,7 +485,7 @@ func (s *Solver) Solve() *Result {
 	}
 	res.Obj = s.orig.Objective(res.X)
 	res.RhoFinal = s.rho
-	return res
+	return res, cause
 }
 
 // residuals computes unscaled primal/dual residuals and their tolerances.
@@ -567,14 +591,16 @@ func (s *Solver) adaptRho(prim, dual, epsP, epsD float64) {
 func (s *Solver) cg(x, b []float64, tol float64) int {
 	n := s.n
 	set := s.set
+	workers := par.Workers(set.Workers)
 	precond := make([]float64, n)
 	for j := 0; j < n; j++ {
 		precond[j] = 1 / (s.diagP[j] + set.Sigma + s.rho*s.diagTA[j])
 	}
 	apply := func(dst, v []float64) {
-		// dst = P v + σ v + ρ Aᵀ(A v)
+		// dst = P v + σ v + ρ Aᵀ(A v).  The mat-vecs are row-partitioned
+		// across workers; the Aᵀ scatter stays serial (deterministic).
 		if s.p != nil {
-			s.p.MulVec(dst, v)
+			s.p.MulVecW(dst, v, workers)
 		} else {
 			for j := range dst {
 				dst[j] = 0
@@ -583,7 +609,7 @@ func (s *Solver) cg(x, b []float64, tol float64) int {
 		for j := 0; j < n; j++ {
 			dst[j] += set.Sigma * v[j]
 		}
-		s.a.MulVec(s.cgAx, v)
+		s.a.MulVecW(s.cgAx, v, workers)
 		Scale(s.cgAx, s.rho)
 		s.a.AddMulTVec(dst, s.cgAx)
 	}
@@ -603,10 +629,10 @@ func (s *Solver) cg(x, b []float64, tol float64) int {
 		z[j] = precond[j] * r[j]
 	}
 	copy(p, z)
-	rz := Dot(r, z)
+	rz := DotW(r, z, workers)
 	for it := 1; it <= set.CGMaxIter; it++ {
 		apply(ap, p)
-		pap := Dot(p, ap)
+		pap := DotW(p, ap, workers)
 		if pap <= 0 {
 			return it
 		}
@@ -619,7 +645,7 @@ func (s *Solver) cg(x, b []float64, tol float64) int {
 		for j := 0; j < n; j++ {
 			z[j] = precond[j] * r[j]
 		}
-		rzNew := Dot(r, z)
+		rzNew := DotW(r, z, workers)
 		beta := rzNew / rz
 		rz = rzNew
 		for j := 0; j < n; j++ {

@@ -20,6 +20,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"repro/internal/par"
 )
 
 // Triplet accumulates matrix entries in coordinate form.  Duplicate
@@ -107,14 +109,22 @@ func (t *Triplet) Compile() *CSR {
 func (c *CSR) NNZ() int { return len(c.Val) }
 
 // MulVec computes y = A·x.  y must have length M and is overwritten.
-func (c *CSR) MulVec(y, x []float64) {
-	for r := 0; r < c.M; r++ {
-		s := 0.0
-		for k := c.RowPtr[r]; k < c.RowPtr[r+1]; k++ {
-			s += c.Val[k] * x[c.Col[k]]
+func (c *CSR) MulVec(y, x []float64) { c.MulVecW(y, x, 1) }
+
+// MulVecW is MulVec with the rows partitioned across up to workers
+// goroutines.  Each row's sum is accumulated in the same order no
+// matter which worker owns it, so the result is bit-identical to the
+// serial product for every worker count.
+func (c *CSR) MulVecW(y, x []float64, workers int) {
+	par.Blocks(c.M, workers, func(_, lo, hi int) {
+		for r := lo; r < hi; r++ {
+			s := 0.0
+			for k := c.RowPtr[r]; k < c.RowPtr[r+1]; k++ {
+				s += c.Val[k] * x[c.Col[k]]
+			}
+			y[r] = s
 		}
-		y[r] = s
-	}
+	})
 }
 
 // MulTVec computes y = Aᵀ·x.  y must have length N and is overwritten.
@@ -221,13 +231,22 @@ func (c *CSR) Dense() [][]float64 {
 
 // Vector helpers.  All operate element-wise on equal-length slices.
 
-// Dot returns aᵀb.
-func Dot(a, b []float64) float64 {
-	s := 0.0
-	for i := range a {
-		s += a[i] * b[i]
-	}
-	return s
+// Dot returns aᵀb.  The sum uses the fixed blocked reduction of
+// par.SumBlocks, so Dot and DotW agree bitwise for every worker count.
+func Dot(a, b []float64) float64 { return DotW(a, b, 1) }
+
+// DotW computes aᵀb with block partials evaluated on up to workers
+// goroutines.  The reduction tree is fixed by par.SumBlockSize —
+// independent of the worker count — so no floating-point
+// reassociation occurs across workers.
+func DotW(a, b []float64, workers int) float64 {
+	return par.SumBlocks(len(a), workers, func(lo, hi int) float64 {
+		s := 0.0
+		for i := lo; i < hi; i++ {
+			s += a[i] * b[i]
+		}
+		return s
+	})
 }
 
 // InfNorm returns max|a_i| (0 for an empty slice).

@@ -1,0 +1,125 @@
+package sta
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/liberty"
+	"repro/internal/netlist"
+	"repro/internal/place"
+	"repro/internal/tech"
+)
+
+// wide builds a design with many parallel inverter chains so that the
+// topological levels are wide enough (≥ levelGrain gates) to exercise
+// the per-level parallel path of AnalyzeCtx.
+func wide(t *testing.T) Input {
+	t.Helper()
+	node := tech.N65()
+	lib := liberty.New(node)
+	c := netlist.New("wide")
+	const chains, depth = 48, 4
+	invs := []string{"INVX1", "INVX2", "INVX4"}
+	masters := map[int]string{}
+	add := func(name, master string, kind netlist.Kind) int {
+		id := c.AddGate(name, master, kind).ID
+		if master != "" {
+			masters[id] = master
+		}
+		return id
+	}
+	for i := 0; i < chains; i++ {
+		prev := add(fmt.Sprintf("pi%d", i), "", netlist.PI)
+		for l := 0; l < depth; l++ {
+			g := add(fmt.Sprintf("inv%d_%d", i, l), invs[(i+l)%len(invs)], netlist.Comb)
+			if err := c.Connect(prev, g); err != nil {
+				t.Fatal(err)
+			}
+			prev = g
+		}
+		ff := add(fmt.Sprintf("ff%d", i), "DFFX1", netlist.Seq)
+		po := add(fmt.Sprintf("po%d", i), "", netlist.PO)
+		if err := c.Connect(prev, ff); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Connect(ff, po); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ms := make([]*liberty.Master, c.NumGates())
+	for id, name := range masters {
+		ms[id] = lib.MustMaster(name)
+	}
+	pl := place.New(c, 400, 400, 1.4)
+	for i := range pl.X {
+		pl.X[i] = float64((i * 37) % 400)
+		pl.Y[i] = float64((i * 13) % 400)
+	}
+	return Input{Circ: c, Masters: ms, Pl: pl, Node: node}
+}
+
+func sameBits(t *testing.T, name string, a, b []float64) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: length %d vs %d", name, len(a), len(b))
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			t.Fatalf("%s[%d]: %v != %v (not bit-identical)", name, i, a[i], b[i])
+		}
+	}
+}
+
+// TestAnalyzeWorkersEquivalent asserts the tentpole determinism
+// contract: the analysis is bit-identical for every worker count.
+func TestAnalyzeWorkersEquivalent(t *testing.T) {
+	in := wide(t)
+	cfg := DefaultConfig()
+	cfg.Workers = 1
+	n := in.Circ.NumGates()
+	dl := make([]float64, n)
+	dw := make([]float64, n)
+	for i := 0; i < n; i++ {
+		dl[i] = -10 + float64(i%21)
+		dw[i] = -5 + float64(i%11)
+	}
+	pert := &Perturb{DL: dl, DW: dw}
+	ref, err := Analyze(in, cfg, pert)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 3, 8, 0} {
+		cfg.Workers = w
+		r, err := AnalyzeCtx(context.Background(), in, cfg, pert)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if math.Float64bits(r.MCT) != math.Float64bits(ref.MCT) {
+			t.Fatalf("workers=%d: MCT %v != %v", w, r.MCT, ref.MCT)
+		}
+		if r.CritEnd != ref.CritEnd {
+			t.Fatalf("workers=%d: CritEnd %d != %d", w, r.CritEnd, ref.CritEnd)
+		}
+		sameBits(t, "AOut", r.AOut, ref.AOut)
+		sameBits(t, "AEnd", r.AEnd, ref.AEnd)
+		sameBits(t, "ROut", r.ROut, ref.ROut)
+		sameBits(t, "Slew", r.Slew, ref.Slew)
+		sameBits(t, "InSlew", r.InSlew, ref.InSlew)
+		sameBits(t, "Load", r.Load, ref.Load)
+	}
+}
+
+// TestAnalyzeCtxCanceled asserts cancellation surfaces as a wrapped
+// context.Canceled before any level is evaluated.
+func TestAnalyzeCtxCanceled(t *testing.T) {
+	in := wide(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := AnalyzeCtx(ctx, in, DefaultConfig(), nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want wrapped context.Canceled, got %v", err)
+	}
+}

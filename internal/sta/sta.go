@@ -15,12 +15,14 @@
 package sta
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 
 	"repro/internal/liberty"
 	"repro/internal/netlist"
+	"repro/internal/par"
 	"repro/internal/place"
 	"repro/internal/tech"
 )
@@ -64,6 +66,13 @@ type Config struct {
 	POLoad float64
 	// SlewWireFactor converts wire delay into added input slew.
 	SlewWireFactor float64
+	// Workers bounds the analysis fan-out: gates within one topological
+	// level are evaluated concurrently on up to Workers goroutines.
+	// Zero (the default) selects runtime.GOMAXPROCS(0).  Results are
+	// bit-identical for every worker count: gates in a level are
+	// mutually independent, each writes only its own slots, and the
+	// min/max reductions used here are exactly order-independent.
+	Workers int
 }
 
 // DefaultConfig returns the boundary conditions used across the flow.
@@ -145,6 +154,44 @@ func (in Input) netLoad(id int, cfg Config) float64 {
 
 // Analyze performs a full forward/backward timing analysis.
 func Analyze(in Input, cfg Config, pert *Perturb) (*Result, error) {
+	return AnalyzeCtx(context.Background(), in, cfg, pert)
+}
+
+// levelGrain is the minimum number of gates in one topological level
+// worth fanning out to the worker pool; below it goroutine dispatch
+// costs more than the arithmetic it hides.
+const levelGrain = 16
+
+// eachGate applies f to every gate in ids, concurrently when the level
+// is large enough, serially (with one cancellation check) otherwise.
+// Either path yields bit-identical results: f writes only the slots of
+// its own gate.
+func eachGate(ctx context.Context, ids []int, workers int, f func(id int)) error {
+	if workers == 1 || len(ids) < levelGrain {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("sta: canceled: %w", err)
+		}
+		for _, id := range ids {
+			f(id)
+		}
+		return nil
+	}
+	return par.Do(ctx, len(ids), workers, func(i int) error {
+		f(ids[i])
+		return nil
+	})
+}
+
+// AnalyzeCtx is Analyze with cancellation: the analysis aborts between
+// topological levels when ctx is canceled, returning an error that
+// wraps context.Canceled.
+//
+// The forward and backward passes are levelized: gates within one
+// topological level are mutually independent (every unblocked timing
+// edge strictly increases the level), so they are evaluated
+// concurrently on up to cfg.Workers goroutines with results
+// bit-identical to the serial order.
+func AnalyzeCtx(ctx context.Context, in Input, cfg Config, pert *Perturb) (*Result, error) {
 	n := in.Circ.NumGates()
 	if n == 0 {
 		return nil, errors.New("sta: empty circuit")
@@ -156,6 +203,11 @@ func Analyze(in Input, cfg Config, pert *Perturb) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	levels, err := in.Circ.Levelize()
+	if err != nil {
+		return nil, err
+	}
+	workers := par.Workers(cfg.Workers)
 	r := &Result{
 		In: in, Cfg: cfg, Pert: pert,
 		AOut:   make([]float64, n),
@@ -170,64 +222,58 @@ func Analyze(in Input, cfg Config, pert *Perturb) (*Result, error) {
 		r.AEnd[i] = math.NaN()
 	}
 
-	// Loads first (they depend only on placement and fanout pins).
-	for id := range in.Circ.Gates {
-		r.Load[id] = in.netLoad(id, cfg)
+	// Bucket gates by level (in topological order, so bucket contents
+	// are deterministic) and collect the sequential nodes, whose
+	// required times are gathered last in the backward pass.
+	maxLv := 0
+	for _, lv := range levels {
+		if lv > maxLv {
+			maxLv = lv
+		}
+	}
+	buckets := make([][]int, maxLv+1)
+	var seqIDs, allIDs []int
+	allIDs = make([]int, n)
+	for _, id := range order {
+		buckets[levels[id]] = append(buckets[levels[id]], id)
+		if in.Circ.Gates[id].Kind == netlist.Seq {
+			seqIDs = append(seqIDs, id)
+		}
+	}
+	for i := range allIDs {
+		allIDs[i] = i
 	}
 
-	// Sequential launch values next: they depend only on loads, and the
+	// Loads first (they depend only on placement and fanout pins), then
+	// sequential launch values: launches depend only on loads, and the
 	// topological order does not constrain a flip-flop to precede its
 	// fanouts (edges out of registers cut the timing graph), so fanouts
 	// may be visited first and must already see the launch arrival.
-	for id, g := range in.Circ.Gates {
-		if g.Kind != netlist.Seq {
-			continue
+	if err := eachGate(ctx, allIDs, workers, func(id int) {
+		r.Load[id] = in.netLoad(id, cfg)
+	}); err != nil {
+		return nil, err
+	}
+	if err := eachGate(ctx, allIDs, workers, func(id int) {
+		if in.Circ.Gates[id].Kind != netlist.Seq {
+			return
 		}
 		m := in.Masters[id]
 		r.AOut[id] = m.Delay(pert.dl(id), pert.dw(id), cfg.ClockSlew, r.Load[id])
 		r.Slew[id] = m.OutSlew(pert.dl(id), pert.dw(id), cfg.ClockSlew, r.Load[id])
 		r.InSlew[id] = cfg.ClockSlew
+	}); err != nil {
+		return nil, err
 	}
 
-	// Forward pass in topological order.
-	for _, id := range order {
-		g := in.Circ.Gates[id]
-		switch g.Kind {
-		case netlist.PI:
-			r.AOut[id] = 0
-			r.Slew[id] = cfg.InputSlew
-			r.InSlew[id] = cfg.InputSlew
-		case netlist.Seq:
-			// Capture: data arrival plus setup (endpoint); the launch
-			// side was precomputed above.
-			r.AEnd[id] = dataArrival(r, in, id) + in.Masters[id].Setup
-		case netlist.Comb:
-			m := in.Masters[id]
-			best := math.Inf(-1)
-			var bestSlew, bestIn float64
-			for _, fi := range g.Fanins {
-				wd := in.WireDelay(fi, id)
-				slewIn := r.Slew[fi] + cfg.SlewWireFactor*wd
-				d := m.Delay(pert.dl(id), pert.dw(id), slewIn, r.Load[id])
-				if a := r.AOut[fi] + wd + d; a > best {
-					best = a
-					bestSlew = m.OutSlew(pert.dl(id), pert.dw(id), slewIn, r.Load[id])
-					bestIn = slewIn
-				}
-			}
-			if math.IsInf(best, -1) {
-				best = 0
-				bestSlew = cfg.InputSlew
-				bestIn = cfg.InputSlew
-			}
-			r.AOut[id] = best
-			r.Slew[id] = bestSlew
-			r.InSlew[id] = bestIn
-		case netlist.PO:
-			arr := dataArrival(r, in, id)
-			r.AOut[id] = arr
-			r.AEnd[id] = arr
-			r.Slew[id] = cfg.InputSlew
+	// Forward pass, level by level.  A gate reads only its fanins'
+	// arrival/slew — all at strictly lower levels or precomputed
+	// flip-flop launch values — so gates within a level are independent.
+	for lv := 0; lv <= maxLv; lv++ {
+		if err := eachGate(ctx, buckets[lv], workers, func(id int) {
+			forwardGate(r, in, cfg, pert, id)
+		}); err != nil {
+			return nil, err
 		}
 	}
 
@@ -241,42 +287,36 @@ func Analyze(in Input, cfg Config, pert *Perturb) (*Result, error) {
 		}
 	}
 
-	// Backward pass: required times at T = MCT.
+	// Backward pass: required times at T = MCT, in gather form — each
+	// node takes the min over its own fanout edges, which equals the
+	// serial scatter relaxation exactly (min is order-independent).
+	// Non-sequential nodes run in descending level order: an unblocked
+	// edge u→v puts v at a strictly higher level, so ROut[v] is final
+	// before u gathers it.  Sequential nodes run last: nothing reads a
+	// flip-flop's required time (edges *into* a register need only MCT
+	// and its setup), while its own gather may read combinational
+	// fanouts at arbitrary levels.
 	for i := range r.ROut {
 		r.ROut[i] = math.Inf(1)
 	}
-	for i := len(order) - 1; i >= 0; i-- {
-		id := order[i]
-		g := in.Circ.Gates[id]
-		// Endpoint contribution at this node's *input* maps onto the
-		// drivers below; here we set requireds for outputs.
-		if g.Kind == netlist.PO || g.Kind == netlist.Seq {
-			// The output of a PO doesn't exist; for a Seq the output
-			// launches the *next* cycle, whose budget is again MCT, so
-			// its required is MCT minus the downstream path — handled
-			// via fanouts like a normal driver below.
-			if g.Kind == netlist.PO {
-				r.ROut[id] = r.MCT
+	for lv := maxLv; lv >= 0; lv-- {
+		ids := buckets[lv]
+		nonSeq := ids[:0:0]
+		for _, id := range ids {
+			if in.Circ.Gates[id].Kind != netlist.Seq {
+				nonSeq = append(nonSeq, id)
 			}
 		}
-		for _, fi := range g.Fanins {
-			req := math.Inf(1)
-			wd := in.WireDelay(fi, id)
-			switch g.Kind {
-			case netlist.PO:
-				req = r.MCT - wd
-			case netlist.Seq:
-				req = r.MCT - in.Masters[id].Setup - wd
-			case netlist.Comb:
-				m := in.Masters[id]
-				slewIn := r.Slew[fi] + cfg.SlewWireFactor*wd
-				d := m.Delay(pert.dl(id), pert.dw(id), slewIn, r.Load[id])
-				req = r.ROut[id] - d - wd
-			}
-			if req < r.ROut[fi] {
-				r.ROut[fi] = req
-			}
+		if err := eachGate(ctx, nonSeq, workers, func(id int) {
+			gatherRequired(r, in, cfg, pert, id)
+		}); err != nil {
+			return nil, err
 		}
+	}
+	if err := eachGate(ctx, seqIDs, workers, func(id int) {
+		gatherRequired(r, in, cfg, pert, id)
+	}); err != nil {
+		return nil, err
 	}
 	// Unloaded nodes: required defaults to MCT.
 	for id := range r.ROut {
@@ -285,6 +325,82 @@ func Analyze(in Input, cfg Config, pert *Perturb) (*Result, error) {
 		}
 	}
 	return r, nil
+}
+
+// forwardGate computes the arrival/slew of one gate from its fanins.
+func forwardGate(r *Result, in Input, cfg Config, pert *Perturb, id int) {
+	g := in.Circ.Gates[id]
+	switch g.Kind {
+	case netlist.PI:
+		r.AOut[id] = 0
+		r.Slew[id] = cfg.InputSlew
+		r.InSlew[id] = cfg.InputSlew
+	case netlist.Seq:
+		// Capture: data arrival plus setup (endpoint); the launch side
+		// was precomputed before the forward pass.
+		r.AEnd[id] = dataArrival(r, in, id) + in.Masters[id].Setup
+	case netlist.Comb:
+		m := in.Masters[id]
+		best := math.Inf(-1)
+		var bestSlew, bestIn float64
+		for _, fi := range g.Fanins {
+			wd := in.WireDelay(fi, id)
+			slewIn := r.Slew[fi] + cfg.SlewWireFactor*wd
+			d := m.Delay(pert.dl(id), pert.dw(id), slewIn, r.Load[id])
+			if a := r.AOut[fi] + wd + d; a > best {
+				best = a
+				bestSlew = m.OutSlew(pert.dl(id), pert.dw(id), slewIn, r.Load[id])
+				bestIn = slewIn
+			}
+		}
+		if math.IsInf(best, -1) {
+			best = 0
+			bestSlew = cfg.InputSlew
+			bestIn = cfg.InputSlew
+		}
+		r.AOut[id] = best
+		r.Slew[id] = bestSlew
+		r.InSlew[id] = bestIn
+	case netlist.PO:
+		arr := dataArrival(r, in, id)
+		r.AOut[id] = arr
+		r.AEnd[id] = arr
+		r.Slew[id] = cfg.InputSlew
+	}
+}
+
+// gatherRequired computes one node's required time as the min over its
+// fanout edges.  Dead ends stay +Inf; the caller's final pass defaults
+// them to MCT, matching the serial scatter formulation.
+func gatherRequired(r *Result, in Input, cfg Config, pert *Perturb, id int) {
+	g := in.Circ.Gates[id]
+	if g.Kind == netlist.PO {
+		r.ROut[id] = r.MCT
+		return
+	}
+	req := math.Inf(1)
+	for _, fo := range g.Fanouts {
+		og := in.Circ.Gates[fo]
+		wd := in.WireDelay(id, fo)
+		var q float64
+		switch og.Kind {
+		case netlist.PO:
+			q = r.MCT - wd
+		case netlist.Seq:
+			q = r.MCT - in.Masters[fo].Setup - wd
+		case netlist.Comb:
+			m := in.Masters[fo]
+			slewIn := r.Slew[id] + cfg.SlewWireFactor*wd
+			d := m.Delay(pert.dl(fo), pert.dw(fo), slewIn, r.Load[fo])
+			q = r.ROut[fo] - d - wd
+		default:
+			continue
+		}
+		if q < req {
+			req = q
+		}
+	}
+	r.ROut[id] = req
 }
 
 func dataArrival(r *Result, in Input, id int) float64 {

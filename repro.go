@@ -27,6 +27,8 @@
 package repro
 
 import (
+	"context"
+
 	"repro/internal/core"
 	"repro/internal/expt"
 	"repro/internal/gen"
@@ -86,6 +88,13 @@ var (
 // Generate builds the synthetic design for a preset.
 func Generate(p Preset) (*Design, error) { return gen.Generate(p) }
 
+// GenerateCtx is Generate with cancellation: a canceled context aborts
+// the endpoint-rewiring analyses with an error wrapping
+// context.Canceled.
+func GenerateCtx(ctx context.Context, p Preset) (*Design, error) {
+	return gen.GenerateCtx(ctx, p)
+}
+
 // DefaultOptions returns the paper's main configuration (5 µm grid,
 // δ = 2%, ±5% dose, poly layer, ξ = 0).
 func DefaultOptions() Options { return core.DefaultOptions() }
@@ -98,10 +107,24 @@ func Analyze(d *Design) (*Timing, error) {
 	return core.GoldenNominal(d, sta.DefaultConfig())
 }
 
+// AnalyzeCtx is Analyze with cancellation and a worker-count knob
+// (workers ≤ 0 selects runtime.GOMAXPROCS(0)); the analysis is
+// bit-identical for every worker count.
+func AnalyzeCtx(ctx context.Context, d *Design, workers int) (*Timing, error) {
+	cfg := sta.DefaultConfig()
+	cfg.Workers = workers
+	return core.GoldenNominalCtx(ctx, d, cfg)
+}
+
 // FitModel calibrates the per-instance linear-delay / quadratic-leakage
 // coefficients at the golden operating points.
 func FitModel(t *Timing, bothLayers bool) (*Model, error) {
 	return core.FitModel(t, bothLayers)
+}
+
+// FitModelCtx is FitModel with cancellation and a worker-count knob.
+func FitModelCtx(ctx context.Context, t *Timing, bothLayers bool, workers int) (*Model, error) {
+	return core.FitModelCtx(ctx, t, bothLayers, workers)
 }
 
 // RunQP minimizes Δleakage subject to MCT ≤ tauPs (Section III QP).
@@ -109,10 +132,23 @@ func RunQP(t *Timing, m *Model, opt Options, tauPs float64) (*Result, error) {
 	return core.DMoptQP(t, m, opt, tauPs)
 }
 
+// RunQPCtx is RunQP with cancellation: a canceled context aborts the
+// cut rounds / ADMM iterations in flight with an error wrapping
+// context.Canceled.  Set opt.Workers to bound the solver's fan-out.
+func RunQPCtx(ctx context.Context, t *Timing, m *Model, opt Options, tauPs float64) (*Result, error) {
+	return core.DMoptQPCtx(ctx, t, m, opt, tauPs)
+}
+
 // RunQCP minimizes the clock period subject to Δleakage ≤ opt.XiNW
 // (Section III QCP, solved by bisection over the QP).
 func RunQCP(t *Timing, m *Model, opt Options) (*Result, error) {
 	return core.DMoptQCP(t, m, opt)
+}
+
+// RunQCPCtx is RunQCP with cancellation: a canceled context aborts the
+// bisection probe in flight with an error wrapping context.Canceled.
+func RunQCPCtx(ctx context.Context, t *Timing, m *Model, opt Options) (*Result, error) {
+	return core.DMoptQCPCtx(ctx, t, m, opt)
 }
 
 // RunDosePl runs the cell-swapping placement rounds on an optimized
@@ -122,14 +158,51 @@ func RunDosePl(t *Timing, r *Result, opt Options, dopt DosePlOptions) (*DosePlRe
 	return core.DosePl(t, r.Layers, opt, dopt)
 }
 
+// RunDosePlCtx is RunDosePl with cancellation: a canceled context
+// aborts between swap rounds, leaving the placement in its last
+// consistent state, with an error wrapping context.Canceled.
+func RunDosePlCtx(ctx context.Context, t *Timing, r *Result, opt Options, dopt DosePlOptions) (*DosePlResult, error) {
+	return core.DosePlCtx(ctx, t, r.Layers, opt, dopt)
+}
+
 // RunFlow executes the full Fig. 7 pipeline.
 func RunFlow(d *Design, cfg FlowConfig) (*FlowOutcome, error) { return core.Run(d, cfg) }
 
+// RunFlowCtx is RunFlow with cancellation: a canceled context aborts
+// whichever stage is in flight with an error wrapping context.Canceled.
+// Set cfg.Opt.Workers to bound every stage's fan-out; results are
+// bit-identical for every worker count.
+func RunFlowCtx(ctx context.Context, d *Design, cfg FlowConfig) (*FlowOutcome, error) {
+	return core.RunCtx(ctx, d, cfg)
+}
+
 // Harness is the experiment context that regenerates the paper's tables
-// and figures; see cmd/tables and bench_test.go.
+// and figures; see cmd/tables and bench_test.go.  It is safe for
+// concurrent use.
 type Harness = expt.Context
+
+// HarnessOption configures a Harness (see WithScale, WithTopK,
+// WithWorkers).
+type HarnessOption = expt.Option
+
+// Harness options re-exported from the experiment package.
+var (
+	// WithScale shrinks every preset by a factor in (0, 1].
+	WithScale = expt.WithScale
+	// WithTopK sets the top-path count for path-based experiments.
+	WithTopK = expt.WithTopK
+	// WithWorkers bounds the harness's parallel fan-out.
+	WithWorkers = expt.WithWorkers
+)
+
+// NewHarnessOpts returns an experiment harness with the paper's
+// configuration (full design sizes, K = 10 000, GOMAXPROCS workers),
+// adjusted by the options.
+func NewHarnessOpts(opts ...HarnessOption) *Harness { return expt.New(opts...) }
 
 // NewHarness returns an experiment harness at the given design scale
 // (1 = the paper's full Table I sizes) and top-path count K (≤0 = the
 // paper's 10 000).
+//
+// Deprecated: use NewHarnessOpts with WithScale and WithTopK.
 func NewHarness(scale float64, k int) *Harness { return expt.NewContext(scale, k) }
