@@ -1,10 +1,11 @@
 # Development checks.  `make check` is the tier-1 gate; `make race`
 # runs the race detector over the concurrent packages; `make bench`
-# records the serial-vs-parallel TableIV wall time.
+# records the serial-vs-parallel TableIV wall time; `make profile`
+# captures CPU and heap profiles of the Table IV pipeline.
 
 GO ?= go
 
-.PHONY: check vet build test race bench all
+.PHONY: check vet build test race bench profile all
 
 all: check
 
@@ -24,3 +25,10 @@ race:
 
 bench:
 	$(GO) test -bench=TableIV -benchtime=1x -run=^$$ .
+
+# Profile the dominant pipeline (Table IV at bench scale); inspect with
+# `go tool pprof cpu.prof` / `go tool pprof mem.prof`.
+profile:
+	$(GO) run ./cmd/tables -which iv -scale 0.06 -k 1000 -workers 1 \
+		-cpuprofile cpu.prof -memprofile mem.prof
+	$(GO) tool pprof -top -nodecount=15 cpu.prof

@@ -12,6 +12,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro"
@@ -27,7 +29,13 @@ func main() {
 	xi := flag.Float64("xi", 0, "QCP leakage budget ξ in nW (Δleakage allowed)")
 	dosepl := flag.Bool("dosepl", false, "run dosePl cell-swapping rounds after DMopt")
 	workers := flag.Int("workers", 0, "parallel fan-out of STA/fit/solver; 0 = GOMAXPROCS (bit-identical results)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	stopProfile := startCPUProfile(*cpuprofile)
+	defer stopProfile()
+	defer writeMemProfile(*memprofile)
 
 	var preset repro.Preset
 	found := false
@@ -94,4 +102,31 @@ func check(err error) {
 		fmt.Fprintf(os.Stderr, "dmopt: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// startCPUProfile begins profiling into path (empty disables) and
+// returns the stop function to defer.
+func startCPUProfile(path string) func() {
+	if path == "" {
+		return func() {}
+	}
+	f, err := os.Create(path)
+	check(err)
+	check(pprof.StartCPUProfile(f))
+	return func() {
+		pprof.StopCPUProfile()
+		check(f.Close())
+	}
+}
+
+// writeMemProfile dumps a post-GC heap profile to path (empty disables).
+func writeMemProfile(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	check(err)
+	runtime.GC()
+	check(pprof.WriteHeapProfile(f))
+	check(f.Close())
 }

@@ -13,6 +13,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -26,7 +28,13 @@ func main() {
 	which := flag.String("which", "all", "comma-separated experiment list, or 'all'")
 	fig10Design := flag.String("fig10", "AES-65", "design for the Fig. 10 slack profiles")
 	workers := flag.Int("workers", 0, "parallel fan-out per experiment; 0 = GOMAXPROCS")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	stopProfile := startCPUProfile(*cpuprofile)
+	defer stopProfile()
+	defer writeMemProfile(*memprofile)
 
 	c := expt.New(expt.WithScale(*scale), expt.WithTopK(*k), expt.WithWorkers(*workers))
 	sel := map[string]bool{}
@@ -94,4 +102,38 @@ func main() {
 		emit(c.Fig10(*fig10Design, 24))
 	}
 	fmt.Fprintf(os.Stderr, "tables: done in %v (scale %.2f)\n", time.Since(start).Round(time.Millisecond), *scale)
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tables: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// startCPUProfile begins profiling into path (empty disables) and
+// returns the stop function to defer.
+func startCPUProfile(path string) func() {
+	if path == "" {
+		return func() {}
+	}
+	f, err := os.Create(path)
+	check(err)
+	check(pprof.StartCPUProfile(f))
+	return func() {
+		pprof.StopCPUProfile()
+		check(f.Close())
+	}
+}
+
+// writeMemProfile dumps a post-GC heap profile to path (empty disables).
+func writeMemProfile(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	check(err)
+	runtime.GC()
+	check(pprof.WriteHeapProfile(f))
+	check(f.Close())
 }

@@ -88,16 +88,98 @@ type cutSolver struct {
 	pool  *cutPool
 	x     []float64 // warm-start iterate
 
+	// Persistent solver state.  The assembled problem and its qp.Solver
+	// are kept across cut rounds and bisection probes: when only τ moves
+	// the cut-row bounds are updated in place (no CSR rebuild, no
+	// re-equilibration), and when the pool grows the problem is rebuilt
+	// with the previous duals zero-padded onto the new rows — cut rows
+	// are appended after the fixed box/smoothness prefix, so saved dual
+	// indices stay valid.  Warm duals are what keeps the ADMM iteration
+	// count low round over round; a cold y resets the active-set
+	// estimate and regularly forced 6x-budget retries.
+	solver    *qp.Solver
+	prob      *qp.Problem
+	builtCuts int
+	builtTau  float64
+	y         []float64 // last duals (unscaled), aligned to prob rows
+
 	rounds, solves int
 }
 
 // clone returns a probe-local copy sharing the read-only problem data
-// and the cut pool, with an independent warm-start iterate.  Used by
-// the speculative QCP bisection to run probes concurrently.
+// and the cut pool, with an independent warm-start iterate and dual
+// state.  Used by the speculative QCP bisection to run probes
+// concurrently; the qp.Solver is not shared (each clone builds its own
+// on first use).
 func (cs *cutSolver) clone() *cutSolver {
 	cp := *cs
 	cp.x = append([]float64(nil), cs.x...)
+	cp.y = append([]float64(nil), cs.y...)
+	cp.solver = nil
+	cp.prob = nil
+	cp.builtCuts = 0
 	return &cp
+}
+
+// resetSolver drops the persistent solver so the next round rebuilds
+// from scratch.  Called when a solve diverged (infeasible certificate or
+// stall): its internal iterate would poison later warm starts.
+func (cs *cutSolver) resetSolver() {
+	cs.solver = nil
+	cs.prob = nil
+	cs.builtCuts = 0
+}
+
+// adopt takes over the iterate and dual state of a finished probe clone
+// (the speculative bisection winner).
+func (cs *cutSolver) adopt(p *cutSolver) {
+	copy(cs.x, p.x)
+	cs.y = append(cs.y[:0], p.y...)
+	cs.resetSolver()
+}
+
+// ensure makes the persistent solver match (tau, cuts) and warm-starts
+// it at cs.x: bound update only when just τ moved, rebuild (with dual
+// carry-over) when the cut pool grew.
+func (cs *cutSolver) ensure(tau float64, cuts []cut) error {
+	if cs.solver != nil && len(cuts) == cs.builtCuts {
+		if tau != cs.builtTau {
+			base := len(cs.prob.U) - cs.builtCuts
+			for i, c := range cuts {
+				cs.prob.U[base+i] = tau - c.nom
+			}
+			if err := cs.solver.UpdateBounds(cs.prob.L, cs.prob.U); err != nil {
+				return err
+			}
+			cs.builtTau = tau
+		}
+		// Re-anchor the primal at the clamped iterate; duals persist
+		// inside the solver.
+		return cs.solver.WarmStart(cs.x, nil)
+	}
+	cs.prob = cs.buildProblem(tau, cuts)
+	solver, err := qp.NewSolver(cs.prob, cs.opt.QP)
+	if err != nil {
+		return err
+	}
+	var y []float64
+	if len(cs.y) > 0 {
+		y = make([]float64, cs.prob.A.M)
+		copy(y, cs.y) // append-only rows: new cut rows start at zero
+	}
+	if err := solver.WarmStart(cs.x, y); err != nil {
+		return err
+	}
+	cs.solver = solver
+	cs.builtCuts = len(cuts)
+	cs.builtTau = tau
+	return nil
+}
+
+// saveDuals records the duals of a converged solve for the next round's
+// warm start.
+func (cs *cutSolver) saveDuals(y []float64) {
+	cs.y = append(cs.y[:0], y...)
 }
 
 func newCutSolver(golden *sta.Result, model *Model, opt Options) (*cutSolver, error) {
@@ -338,28 +420,26 @@ func (cs *cutSolver) solveTau(ctx context.Context, tau, xiNW float64) (obj float
 			return 0, false, fmt.Errorf("core: cut probe canceled at round %d: %w", round, err)
 		}
 		cs.rounds++
-		prob := cs.buildProblem(tau, cs.pool.snapshot())
-		solver, err := qp.NewSolver(prob, opt.QP)
-		if err != nil {
+		if err := cs.ensure(tau, cs.pool.snapshot()); err != nil {
 			return 0, false, err
 		}
-		if err := solver.WarmStart(cs.x, nil); err != nil {
-			return 0, false, err
-		}
-		res, err := solver.SolveCtx(ctx)
+		res, err := cs.solver.SolveCtx(ctx)
 		cs.solves++
 		if err != nil {
 			return 0, false, err
 		}
 		if res.Status == qp.PrimalInfeasible {
+			cs.resetSolver() // certificate duals would poison warm starts
 			return 0, false, nil
 		}
-		if res.Status != qp.Solved && prob.MaxViolation(res.X) > 0.2 {
-			// Stalled under the fast default budget: retry this round
-			// once with a 6x iteration budget before giving up.
-			boosted := opt.QP
-			boosted.MaxIter *= 6
-			solver, err = qp.NewSolver(prob, boosted)
+		if res.Status != qp.Solved && cs.prob.MaxViolation(res.X) > 0.2 {
+			// Still stalled after the in-solver restarts: retry the round
+			// once on a completely fresh solver (new equilibration and
+			// ADMM state) warm-started at the stalled iterate, under the
+			// same iteration budget.  Genuinely infeasible probes fail
+			// both attempts and are cut off here rather than after a
+			// multiple of the budget.
+			solver, err := qp.NewSolver(cs.prob, opt.QP)
 			if err != nil {
 				return 0, false, err
 			}
@@ -371,17 +451,20 @@ func (cs *cutSolver) solveTau(ctx context.Context, tau, xiNW float64) (obj float
 			if err != nil {
 				return 0, false, err
 			}
+			viol := cs.prob.MaxViolation(res.X)
+			cs.resetSolver()
 			if res.Status == qp.PrimalInfeasible {
 				return 0, false, nil
 			}
-			if res.Status != qp.Solved && prob.MaxViolation(res.X) > 0.5 {
+			if res.Status != qp.Solved && viol > 0.5 {
 				return 0, false, fmt.Errorf("core: cut QP did not converge (τ=%.1f, round %d, viol %.3g)",
-					tau, round, prob.MaxViolation(res.X))
+					tau, round, viol)
 			}
 			// Residual violations below half a percent of dose (or half
 			// a picosecond on a cut) are absorbed by map legalization
 			// and re-measured by golden signoff.
 		}
+		cs.saveDuals(res.Y)
 		copy(cs.x, res.X)
 		// Clamp numerical box slop before evaluating timing.
 		for j := 0; j < cs.nVar; j++ {

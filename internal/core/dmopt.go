@@ -782,11 +782,11 @@ func qcpByCuts(ctx context.Context, golden *sta.Result, model *Model, opt Option
 			switch {
 			case res[0]:
 				hi = m1
-				copy(cs.x, p1.x)
+				cs.adopt(p1)
 				bestX = append(bestX[:0], p1.x...)
 			case res[1]:
 				lo, hi = m1, m2
-				copy(cs.x, p2.x)
+				cs.adopt(p2)
 				bestX = append(bestX[:0], p2.x...)
 			default:
 				lo = m2

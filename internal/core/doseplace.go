@@ -89,18 +89,20 @@ func DosePlCtx(ctx context.Context, golden *sta.Result, layers dosemap.Layers, o
 		return nil, fmt.Errorf("core: dosePl needs a poly dose map")
 	}
 	res := &DosePlResult{}
-	evalNow := func() (Eval, *sta.Result, error) {
-		dL, dW := layers.PerGate(circ, pl, opt.Snap)
-		r, err := sta.AnalyzeCtx(ctx, in, opt.STA, &sta.Perturb{DL: dL, DW: dW})
-		if err != nil {
-			return Eval{}, nil, err
-		}
-		return Eval{MCTps: r.MCT, LeakUW: power.Total(in.Masters, dL, dW)}, r, nil
-	}
-	before, cur, err := evalNow()
+	// One incremental timer serves every round: each evalNow re-times
+	// only the cones of the cells that moved (swaps + legalization
+	// nudges) and the gates whose dose changed with them, bit-identical
+	// to the full re-analysis it replaces.
+	tm, err := sta.NewTimerCtx(ctx, in, opt.STA, nil)
 	if err != nil {
 		return nil, err
 	}
+	evalNow := func() (Eval, *sta.Result) {
+		dL, dW := layers.PerGate(circ, pl, opt.Snap)
+		r := tm.Update(&sta.Perturb{DL: dL, DW: dW})
+		return Eval{MCTps: r.MCT, LeakUW: power.Total(in.Masters, dL, dW)}, r
+	}
+	before, cur := evalNow()
 	res.Before = before
 	best := before
 
@@ -108,14 +110,29 @@ func DosePlCtx(ctx context.Context, golden *sta.Result, layers dosemap.Layers, o
 	gatePitch := pl.GatePitch()
 	maxDist := dopt.Gamma2 * gatePitch
 
+	// The dose map is fixed for the whole run, so the dose-descending
+	// candidate order of the grid regions is computed once and shared by
+	// every trySwap call (which previously sorted the bounding-box grids
+	// per attempt).
+	grid := layers.Poly.Grid
+	ranked := rankGridsByDose(layers.Poly)
+
+	// cellsOf maps grid cells to member cells for candidate lookup.  It
+	// is rebuilt only after an accepted round: a rollback restores the
+	// exact placement the current index was built from.
+	var cellsOf [][]int
+	plDirty := true
+
 	for round := 0; round < dopt.Rounds; round++ {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("core: dosePl canceled at round %d: %w", round, err)
 		}
-		// Snapshot for rollback.
+		// Snapshot for rollback: placement arrays plus the timer state
+		// they correspond to.
 		snapX := append([]float64(nil), pl.X...)
 		snapY := append([]float64(nil), pl.Y...)
 		snapW := append([]float64(nil), pl.Width...)
+		snapT := tm.Snapshot()
 
 		paths := cur.TopPaths(dopt.K, dopt.MaxPathStates)
 		if len(paths) == 0 {
@@ -135,16 +152,17 @@ func DosePlCtx(ctx context.Context, golden *sta.Result, layers dosemap.Layers, o
 				weight[id] += w
 			}
 		}
-		// Cells per grid for candidate lookup.
-		grid := layers.Poly.Grid
-		cellsOf := make([][]int, grid.Cells())
-		for id := range circ.Gates {
-			if in.Masters[id] == nil {
-				continue
+		if plDirty {
+			cellsOf = make([][]int, grid.Cells())
+			for id := range circ.Gates {
+				if in.Masters[id] == nil {
+					continue
+				}
+				gi, gj := grid.Index(pl.X[id], pl.Y[id])
+				f := grid.Flat(gi, gj)
+				cellsOf[f] = append(cellsOf[f], id)
 			}
-			gi, gj := grid.Index(pl.X[id], pl.Y[id])
-			f := grid.Flat(gi, gj)
-			cellsOf[f] = append(cellsOf[f], id)
+			plDirty = false
 		}
 
 		numSwaps := 0
@@ -166,14 +184,14 @@ func DosePlCtx(ctx context.Context, golden *sta.Result, layers dosemap.Layers, o
 				if fixed[cell] || swappedThisRound[cell] {
 					continue
 				}
-				if trySwap(in, layers, grid, cellsOf, critical, fixed, swappedThisRound,
+				res.SwapsTried++
+				if trySwap(in, layers, grid, ranked, cellsOf, critical, fixed, swappedThisRound,
 					cell, maxDist, dopt, opt) {
 					numSwaps++
 					res.SwapsAccepted++ // provisional; may roll back below
 					swappedPerPath[pi]++
 					break
 				}
-				res.SwapsTried++
 			}
 		}
 		if numSwaps == 0 {
@@ -184,19 +202,18 @@ func DosePlCtx(ctx context.Context, golden *sta.Result, layers dosemap.Layers, o
 		if _, err := pl.Legalize(); err != nil {
 			return nil, err
 		}
-		evalAfter, r2, err := evalNow()
-		if err != nil {
-			return nil, err
-		}
+		evalAfter, r2 := evalNow()
 		accepted := evalAfter.MCTps < best.MCTps
 		res.Rounds = append(res.Rounds, RoundLog{Swaps: numSwaps, MCTps: evalAfter.MCTps, Accepted: accepted})
 		if accepted {
 			best = evalAfter
 			cur = r2
+			plDirty = true
 		} else {
 			copy(pl.X, snapX)
 			copy(pl.Y, snapY)
 			copy(pl.Width, snapW)
+			tm.Restore(snapT)
 			res.SwapsAccepted -= numSwaps
 			for id := range swappedThisRound {
 				fixed[id] = true // do not retry these cells
@@ -218,36 +235,56 @@ func cellsOnPath(in sta.Input, p *sta.Path) []int {
 	return out
 }
 
+// rankedGrid is one grid cell of the poly dose map in the shared
+// dose-descending candidate order (ties broken by flat index so the
+// order is deterministic).
+type rankedGrid struct {
+	flat, i, j int
+	dose       float64
+}
+
+// rankGridsByDose precomputes the dose-descending region order shared by
+// every trySwap call of a dosePl run: the dose map never changes during
+// the swap rounds, so the per-attempt bounding-box sort reduces to a
+// membership filter over this list.
+func rankGridsByDose(poly *dosemap.Map) []rankedGrid {
+	g := poly.Grid
+	out := make([]rankedGrid, 0, g.Cells())
+	for i := 0; i < g.M; i++ {
+		for j := 0; j < g.N; j++ {
+			f := g.Flat(i, j)
+			out = append(out, rankedGrid{flat: f, i: i, j: j, dose: poly.D[f]})
+		}
+	}
+	sort.SliceStable(out, func(a, b int) bool { return out[a].dose > out[b].dose })
+	return out
+}
+
 // trySwap attempts to find a partner for the critical cell per
 // Algorithm 1 lines 11-27; on success the placement is mutated.
-func trySwap(in sta.Input, layers dosemap.Layers, grid dosemap.Grid, cellsOf [][]int,
-	critical map[int]bool, fixed []bool, swapped map[int]bool,
+func trySwap(in sta.Input, layers dosemap.Layers, grid dosemap.Grid, ranked []rankedGrid,
+	cellsOf [][]int, critical map[int]bool, fixed []bool, swapped map[int]bool,
 	cell int, maxDist float64, dopt DosePlOptions, opt Options) bool {
 
 	pl := in.Pl
 	poly := layers.Poly
 	bl := pl.BoundingBox(cell)
 	cellDose := poly.DoseAt(pl.X[cell], pl.Y[cell])
+	// The cell stays put until a swap succeeds, so its incident HPWL is
+	// one loop-invariant value, not one per candidate.
+	h1 := pl.IncidentHPWL(cell)
 
-	// Grids intersecting the bounding box, sorted by dose descending.
+	// Grids intersecting the bounding box, visited in dose-descending
+	// order via the precomputed ranking.
 	i0, j0 := grid.Index(bl.MinX, bl.MinY)
 	i1, j1 := grid.Index(bl.MaxX, bl.MaxY)
-	type gridDose struct {
-		flat int
-		dose float64
-	}
-	var regions []gridDose
-	for i := i0; i <= i1; i++ {
-		for j := j0; j <= j1; j++ {
-			f := grid.Flat(i, j)
-			regions = append(regions, gridDose{f, poly.D[f]})
-		}
-	}
-	sort.Slice(regions, func(a, b int) bool { return regions[a].dose > regions[b].dose })
 
-	for _, r := range regions {
+	for _, r := range ranked {
 		if r.dose <= cellDose {
 			break // sorted: no better region follows (line 15)
+		}
+		if r.i < i0 || r.i > i1 || r.j < j0 || r.j > j1 {
+			continue // outside the cell's bounding box
 		}
 		// Non-critical candidate cells by distance (line 17).
 		var cands []int
@@ -273,25 +310,16 @@ func trySwap(in sta.Input, layers dosemap.Layers, grid dosemap.Grid, cellsOf [][
 				continue
 			}
 			// HPWL filter: estimated incident-net wirelength increase of
-			// each swapped cell below γ3.
-			h1 := pl.IncidentHPWL(cell)
+			// each swapped cell below γ3.  The leakage "before" value
+			// (line 20, ΔLeak < γ4·Leak) is taken at the pre-swap
+			// positions so one Swap covers both filters.
 			h2 := pl.IncidentHPWL(cand)
+			leakBefore := pairLeak(in, layers, cell, cand)
 			pl.Swap(cell, cand)
 			n1 := pl.IncidentHPWL(cell)
 			n2 := pl.IncidentHPWL(cand)
-			hpwlOK := n1 <= h1*(1+dopt.Gamma3)+1e-9 && n2 <= h2*(1+dopt.Gamma3)+1e-9
-			// Leakage filter (line 20, ΔLeak < γ4·Leak): evaluate the
-			// pair's leakage at the doses of the exchanged locations.
-			leakOK := true
-			if hpwlOK {
-				leakBefore := pairLeak(in, layers, cand, cell) // post-swap positions: cand now at cell's old spot
-				// Undo to measure the before value cleanly.
-				pl.Swap(cell, cand)
-				before := pairLeak(in, layers, cell, cand)
-				pl.Swap(cell, cand)
-				leakOK = leakBefore <= before*(1+dopt.Gamma4)
-			}
-			if hpwlOK && leakOK {
+			if n1 <= h1*(1+dopt.Gamma3)+1e-9 && n2 <= h2*(1+dopt.Gamma3)+1e-9 &&
+				pairLeak(in, layers, cand, cell) <= leakBefore*(1+dopt.Gamma4) {
 				swapped[cell] = true
 				swapped[cand] = true
 				return true

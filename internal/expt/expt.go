@@ -406,19 +406,52 @@ func (c *Context) DoseSweepCtx(ctx context.Context, design string, doses []float
 	in := core.InputOf(d)
 	cfg := c.staCfg()
 	n := d.Circ.NumGates()
+	workers := par.Workers(c.Workers)
+
+	if workers == 1 {
+		// Serial sweep: one incremental timer shared by every point
+		// re-times only the dose-change cones instead of running a cold
+		// analysis per dose.  The timer's bit-identity contract keeps the
+		// rows equal to the parallel path's full analyses.
+		tm, err := sta.NewTimerCtx(ctx, in, cfg, nil)
+		if err != nil {
+			return nil, err
+		}
+		nomMCT := tm.Result().MCT
+		nomLeak := power.Total(in.Masters, nil, nil)
+		rows := make([]DoseSweepRow, len(doses))
+		dl := make([]float64, n) // reused: Update copies the perturbation
+		for i, dose := range doses {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			for id, m := range d.Masters {
+				if m != nil {
+					dl[id] = tech.DoseToLength(dose)
+				}
+			}
+			r := tm.Update(&sta.Perturb{DL: dl})
+			leak := power.Total(in.Masters, dl, nil)
+			rows[i] = DoseSweepRow{
+				Dose:    dose,
+				MCTns:   r.MCT / 1000,
+				MCTImp:  100 * (1 - r.MCT/nomMCT),
+				LeakUW:  leak,
+				LeakImp: 100 * (1 - leak/nomLeak),
+			}
+		}
+		return rows, nil
+	}
 
 	nomEval, _, err := core.EvalPerturbCtx(ctx, in, cfg, nil)
 	if err != nil {
 		return nil, err
 	}
-	workers := par.Workers(c.Workers)
+	// The points fan out across workers; keep each point's analysis
+	// serial inside to avoid nested oversubscription.  Either split
+	// of the same work yields bit-identical rows.
 	ptCfg := cfg
-	if workers > 1 {
-		// The points fan out across workers; keep each point's analysis
-		// serial inside to avoid nested oversubscription.  Either split
-		// of the same work yields bit-identical rows.
-		ptCfg.Workers = 1
-	}
+	ptCfg.Workers = 1
 	return par.Map(ctx, len(doses), workers, func(i int) (DoseSweepRow, error) {
 		dose := doses[i]
 		dl := make([]float64, n)

@@ -153,6 +153,47 @@ func TestLegalizeResolvesOverlaps(t *testing.T) {
 	}
 }
 
+// TestLegalizeIdempotent asserts that legalizing an already-legal
+// placement is a no-op: zero displacement and bit-identical coordinates.
+// The dosePl loop relies on this when a round's swaps land on legal
+// sites already.
+func TestLegalizeIdempotent(t *testing.T) {
+	c := netlist.New("idem")
+	pi := c.AddGate("in", "", netlist.PI)
+	var ids []int
+	for i := 0; i < 12; i++ {
+		g := c.AddGate("g", "INVX1", netlist.Comb)
+		_ = c.Connect(pi.ID, g.ID)
+		ids = append(ids, g.ID)
+	}
+	p := New(c, 60, 12, 2)
+	rng := rand.New(rand.NewSource(9))
+	for _, id := range ids {
+		p.X[id] = rng.Float64() * 50
+		p.Y[id] = rng.Float64() * 10
+		p.Width[id] = 2.5
+	}
+	if _, err := p.Legalize(); err != nil {
+		t.Fatal(err)
+	}
+	x := append([]float64(nil), p.X...)
+	y := append([]float64(nil), p.Y...)
+	disp, err := p.Legalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if disp != 0 {
+		t.Errorf("second Legalize moved cells: displacement = %v, want 0", disp)
+	}
+	for id := range p.X {
+		if math.Float64bits(p.X[id]) != math.Float64bits(x[id]) ||
+			math.Float64bits(p.Y[id]) != math.Float64bits(y[id]) {
+			t.Fatalf("cell %d moved on second Legalize: (%v,%v) -> (%v,%v)",
+				id, x[id], y[id], p.X[id], p.Y[id])
+		}
+	}
+}
+
 func TestLegalizeOverflowError(t *testing.T) {
 	c := netlist.New("ovf")
 	pi := c.AddGate("in", "", netlist.PI)

@@ -159,8 +159,15 @@ type Result struct {
 	PrimRes  float64
 	DualRes  float64
 	CGIters  int // cumulative inner CG iterations
+	Restarts int // in-place stall restarts (z re-anchored, ρ reset)
 	RhoFinal float64
 }
+
+// stallWindow is the number of consecutive residual checks without at
+// least 1% progress on the tolerance-normalized residual score before
+// SolveCtx restarts the splitting in place.  At the default CheckEvery
+// of 25 this reacts within ~100 wasted iterations.
+const stallWindow = 4
 
 // Solver holds problem data in scaled form plus iterate state, so a
 // sequence of related solves (the QCP bisection) can warm-start.
@@ -401,6 +408,15 @@ func (s *Solver) SolveCtx(ctx context.Context) (*Result, error) {
 	var lastPrim, lastDual float64
 	var cause error
 
+	// Stall-restart state: ADMM with a drifted splitting variable or a
+	// runaway adaptive ρ can wedge — residuals flat for hundreds of
+	// iterations — while the same iterate re-anchored (z ← Ax, ρ ← ρ₀)
+	// converges in a few dozen.  Track the best tolerance-normalized
+	// residual score seen; after stallWindow consecutive checks without
+	// meaningful progress, restart in place.
+	bestScore := math.Inf(1)
+	stalledChecks := 0
+
 	for iter := 1; iter <= set.MaxIter; iter++ {
 		if err := ctx.Err(); err != nil {
 			cause = fmt.Errorf("qp: canceled at iteration %d: %w", iter, err)
@@ -471,6 +487,16 @@ func (s *Solver) SolveCtx(ctx context.Context) (*Result, error) {
 		}
 		if set.AdaptiveRho {
 			s.adaptRho(prim, dual, epsP, epsD)
+		}
+		if score := math.Max(prim/epsP, dual/epsD); score < 0.99*bestScore {
+			bestScore = score
+			stalledChecks = 0
+		} else if stalledChecks++; stalledChecks >= stallWindow {
+			s.a.MulVec(s.z, s.x)
+			s.rho = set.Rho
+			lastPrim, lastDual = 0, 0
+			stalledChecks = 0
+			res.Restarts++
 		}
 	}
 

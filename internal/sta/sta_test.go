@@ -356,6 +356,40 @@ func TestPropertyUniformDoseMonotone(t *testing.T) {
 	}
 }
 
+// TestTopPathsRepeatDeterministic asserts repeated TopPaths calls on the
+// same Result return identical paths: the enumeration reads only frozen
+// analysis state, so callers (the dosePl rounds, the cut generator) may
+// re-extract paths at will without perturbing each other.
+func TestTopPathsRepeatDeterministic(t *testing.T) {
+	in := mesh(t, 77)
+	r, err := Analyze(in, DefaultConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k, maxStates = 50, 100000
+	a := r.TopPaths(k, maxStates)
+	b := r.TopPaths(k, maxStates)
+	if len(a) == 0 {
+		t.Fatal("no paths enumerated")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("path counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if math.Float64bits(a[i].Delay) != math.Float64bits(b[i].Delay) {
+			t.Fatalf("path %d delay differs: %v vs %v", i, a[i].Delay, b[i].Delay)
+		}
+		if len(a[i].Nodes) != len(b[i].Nodes) {
+			t.Fatalf("path %d node counts differ", i)
+		}
+		for j := range a[i].Nodes {
+			if a[i].Nodes[j] != b[i].Nodes[j] {
+				t.Fatalf("path %d diverges at node %d: %d vs %d", i, j, a[i].Nodes[j], b[i].Nodes[j])
+			}
+		}
+	}
+}
+
 func TestTopPathsLimits(t *testing.T) {
 	in, _ := tiny(t)
 	r, err := Analyze(in, DefaultConfig(), nil)
