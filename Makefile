@@ -1,11 +1,13 @@
 # Development checks.  `make check` is the tier-1 gate; `make race`
 # runs the race detector over the concurrent packages; `make bench`
-# records the serial-vs-parallel TableIV wall time; `make profile`
-# captures CPU and heap profiles of the Table IV pipeline.
+# records the serial-vs-parallel TableIV wall time; `make bench-json`
+# emits the machine-readable benchmark report; `make fuzz-smoke` gives
+# each parser fuzzer a 30 s budget; `make profile` captures CPU and
+# heap profiles of the Table IV pipeline.
 
 GO ?= go
 
-.PHONY: check vet build test race bench profile all
+.PHONY: check vet build test race bench bench-json fuzz-smoke profile all
 
 all: check
 
@@ -21,10 +23,24 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/par/... ./internal/sta/... ./internal/expt/...
+	$(GO) test -race ./internal/obs/... ./internal/par/... ./internal/sta/... ./internal/expt/...
 
 bench:
 	$(GO) test -bench=TableIV -benchtime=1x -run=^$$ .
+
+# Schema-versioned benchmark report (git rev, scale, workers, per-stage
+# span timings, solver iteration and gate-eval counters).  Built as a
+# binary (not `go run`) so the toolchain stamps vcs.revision into the
+# report's git_rev field.
+bench-json:
+	$(GO) build -o tables.bin ./cmd/tables
+	./tables.bin -scale 0.15 -k 2000 -which iv -bench-json BENCH_pr3.json
+	rm -f tables.bin
+
+# 30-second CI smoke of each native fuzz target (corpus + new inputs).
+fuzz-smoke:
+	$(GO) test ./internal/netlist/ -fuzz FuzzParseNetlist -fuzztime 30s -run ^$$
+	$(GO) test ./internal/liberty/ -fuzz FuzzParseLiberty -fuzztime 30s -run ^$$
 
 # Profile the dominant pipeline (Table IV at bench scale); inspect with
 # `go tool pprof cpu.prof` / `go tool pprof mem.prof`.

@@ -13,8 +13,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/liberty"
+	"repro/internal/obs"
 	"repro/internal/tech"
 )
 
@@ -23,7 +25,16 @@ func main() {
 	master := flag.String("master", "INVX1", "master to dump NLDM tables for")
 	tables := flag.Bool("tables", false, "dump dose-variant NLDM tables for -master")
 	workers := flag.Int("workers", 0, "parallel fan-out of the per-variant characterization; 0 = GOMAXPROCS")
+	stats := flag.Bool("stats", false, "print run telemetry (spans, counters) to stderr")
 	flag.Parse()
+
+	ctx := context.Background()
+	var rec *obs.Recorder
+	if *stats {
+		rec = obs.New()
+		ctx = obs.With(ctx, rec)
+	}
+	start := time.Now()
 
 	node, err := tech.ByName(*nodeName)
 	if err != nil {
@@ -41,6 +52,9 @@ func main() {
 	}
 
 	if !*tables {
+		if rec != nil {
+			rec.WriteTree(os.Stderr, time.Since(start))
+		}
 		return
 	}
 	m, ok := lib.Master(*master)
@@ -49,7 +63,7 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("\nNLDM tables for %s across the 21 poly-dose variants:\n", m.Name)
-	variants, err := liberty.Characterize(context.Background(), []*liberty.Master{m}, liberty.DoseSteps(), *workers)
+	variants, err := liberty.Characterize(ctx, []*liberty.Master{m}, liberty.DoseSteps(), *workers)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "charlib: %v\n", err)
 		os.Exit(1)
@@ -69,5 +83,8 @@ func main() {
 			}
 			fmt.Println()
 		}
+	}
+	if rec != nil {
+		rec.WriteTree(os.Stderr, time.Since(start))
 	}
 }

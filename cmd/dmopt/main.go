@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -17,6 +18,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -29,6 +31,7 @@ func main() {
 	xi := flag.Float64("xi", 0, "QCP leakage budget ξ in nW (Δleakage allowed)")
 	dosepl := flag.Bool("dosepl", false, "run dosePl cell-swapping rounds after DMopt")
 	workers := flag.Int("workers", 0, "parallel fan-out of STA/fit/solver; 0 = GOMAXPROCS (bit-identical results)")
+	stats := flag.Bool("stats", false, "print run telemetry (spans, counters) to stderr")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -69,8 +72,14 @@ func main() {
 	if *qcp {
 		mode = repro.ModeQCPTiming
 	}
+	ctx := context.Background()
+	var rec *obs.Recorder
+	if *stats {
+		rec = obs.New()
+		ctx = obs.With(ctx, rec)
+	}
 	cfg := repro.FlowConfig{Opt: opt, Mode: mode, RunDosePl: *dosepl, DosePl: repro.DefaultDosePlOptions()}
-	out, err := repro.RunFlow(d, cfg)
+	out, err := repro.RunFlowCtx(ctx, d, cfg)
 	check(err)
 
 	dm := out.DM
@@ -87,6 +96,9 @@ func main() {
 		dp := out.DosePl
 		fmt.Printf("  dosePl  : MCT %8.1f ps   leakage %9.1f µW   (%d swaps accepted over %d rounds)\n",
 			dp.After.MCTps, dp.After.LeakUW, dp.SwapsAccepted, len(dp.Rounds))
+	}
+	if rec != nil {
+		rec.WriteTree(os.Stderr, time.Since(start))
 	}
 }
 

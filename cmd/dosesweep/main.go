@@ -9,21 +9,32 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/expt"
+	"repro/internal/obs"
 )
 
 func main() {
 	design := flag.String("design", "AES-65", "testcase: AES-65, JPEG-65, AES-90, JPEG-90")
 	scale := flag.Float64("scale", 0.15, "design scale factor in (0,1]")
 	workers := flag.Int("workers", 0, "parallel fan-out across sweep points; 0 = GOMAXPROCS")
+	stats := flag.Bool("stats", false, "print run telemetry (spans, counters) to stderr")
 	flag.Parse()
 
+	ctx := context.Background()
+	var rec *obs.Recorder
+	if *stats {
+		rec = obs.New()
+		ctx = obs.With(ctx, rec)
+	}
+	start := time.Now()
 	c := expt.New(expt.WithScale(*scale), expt.WithWorkers(*workers))
-	rows, err := c.DoseSweep(*design, expt.SweepDoses())
+	rows, err := c.DoseSweepCtx(ctx, *design, expt.SweepDoses())
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dosesweep: %v\n", err)
 		os.Exit(1)
@@ -33,5 +44,8 @@ func main() {
 	for _, r := range rows {
 		fmt.Printf("%-10.1f %-10.3f %-9.2f %-13.1f %-9.2f\n",
 			r.Dose, r.MCTns, r.MCTImp, r.LeakUW, r.LeakImp)
+	}
+	if rec != nil {
+		rec.WriteTree(os.Stderr, time.Since(start))
 	}
 }

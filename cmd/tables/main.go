@@ -7,9 +7,14 @@
 //
 // -scale 1 reproduces the full Table I design sizes (minutes of CPU);
 // smaller scales shrink the designs proportionally for quick runs.
+//
+// -stats prints a run-telemetry tree (stage spans, solver/STA counters)
+// to stderr; -bench-json FILE additionally writes the same telemetry as
+// a schema-versioned machine-readable benchmark report.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -19,6 +24,8 @@ import (
 	"time"
 
 	"repro/internal/expt"
+	"repro/internal/obs"
+	"repro/internal/par"
 )
 
 func main() {
@@ -28,6 +35,8 @@ func main() {
 	which := flag.String("which", "all", "comma-separated experiment list, or 'all'")
 	fig10Design := flag.String("fig10", "AES-65", "design for the Fig. 10 slack profiles")
 	workers := flag.Int("workers", 0, "parallel fan-out per experiment; 0 = GOMAXPROCS")
+	stats := flag.Bool("stats", false, "print run telemetry (spans, counters) to stderr")
+	benchJSON := flag.String("bench-json", "", "write a machine-readable benchmark report to this file")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -35,6 +44,13 @@ func main() {
 	stopProfile := startCPUProfile(*cpuprofile)
 	defer stopProfile()
 	defer writeMemProfile(*memprofile)
+
+	ctx := context.Background()
+	var rec *obs.Recorder
+	if *stats || *benchJSON != "" {
+		rec = obs.New()
+		ctx = obs.With(ctx, rec)
+	}
 
 	c := expt.New(expt.WithScale(*scale), expt.WithTopK(*k), expt.WithWorkers(*workers))
 	sel := map[string]bool{}
@@ -72,36 +88,47 @@ func main() {
 		emit(expt.Fig6(), nil)
 	}
 	if want("i") {
-		emit(c.TableI())
+		emit(c.TableICtx(ctx))
 	}
 	if want("ii") {
-		emit(c.TableII())
+		emit(c.TableIICtx(ctx))
 	}
 	if want("iii") {
-		emit(c.TableIII())
+		emit(c.TableIIICtx(ctx))
 	}
 	if want("iv") {
-		t, _, err := c.TableIV()
+		t, _, err := c.TableIVCtx(ctx)
 		emit(t, err)
 	}
 	if want("v") {
-		t, _, err := c.TableV()
+		t, _, err := c.TableVCtx(ctx)
 		emit(t, err)
 	}
 	if want("vi") {
-		t, _, err := c.TableVI()
+		t, _, err := c.TableVICtx(ctx)
 		emit(t, err)
 	}
 	if want("vii") {
-		emit(c.TableVII())
+		emit(c.TableVIICtx(ctx))
 	}
 	if want("viii") {
-		emit(c.TableVIII())
+		emit(c.TableVIIICtx(ctx))
 	}
 	if want("fig10") {
-		emit(c.Fig10(*fig10Design, 24))
+		emit(c.Fig10Ctx(ctx, *fig10Design, 24))
 	}
-	fmt.Fprintf(os.Stderr, "tables: done in %v (scale %.2f)\n", time.Since(start).Round(time.Millisecond), *scale)
+	wall := time.Since(start)
+	fmt.Fprintf(os.Stderr, "tables: done in %v (scale %.2f)\n", wall.Round(time.Millisecond), *scale)
+	if rec != nil {
+		if *stats {
+			rec.WriteTree(os.Stderr, wall)
+		}
+		if *benchJSON != "" {
+			rep := rec.Report("tables -which "+*which, *scale, *k, par.Workers(*workers), wall)
+			check(rep.WriteJSON(*benchJSON))
+			fmt.Fprintf(os.Stderr, "tables: wrote benchmark report to %s\n", *benchJSON)
+		}
+	}
 }
 
 func check(err error) {

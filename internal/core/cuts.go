@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/dosemap"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/qp"
 	"repro/internal/sta"
 	"repro/internal/tech"
@@ -104,6 +105,10 @@ type cutSolver struct {
 	y         []float64 // last duals (unscaled), aligned to prob rows
 
 	rounds, solves int
+
+	// rec is the telemetry recorder, refreshed from the context at each
+	// solveTau entry (ensure has no context of its own).
+	rec *obs.Recorder
 }
 
 // clone returns a probe-local copy sharing the read-only problem data
@@ -143,6 +148,7 @@ func (cs *cutSolver) adopt(p *cutSolver) {
 // carry-over) when the cut pool grew.
 func (cs *cutSolver) ensure(tau float64, cuts []cut) error {
 	if cs.solver != nil && len(cuts) == cs.builtCuts {
+		cs.rec.Add("core/solver_reuses", 1)
 		if tau != cs.builtTau {
 			base := len(cs.prob.U) - cs.builtCuts
 			for i, c := range cuts {
@@ -157,6 +163,7 @@ func (cs *cutSolver) ensure(tau float64, cuts []cut) error {
 		// inside the solver.
 		return cs.solver.WarmStart(cs.x, nil)
 	}
+	cs.rec.Add("core/solver_rebuilds", 1)
 	cs.prob = cs.buildProblem(tau, cuts)
 	solver, err := qp.NewSolver(cs.prob, cs.opt.QP)
 	if err != nil {
@@ -402,6 +409,7 @@ func (cs *cutSolver) buildProblem(tau float64, cuts []cut) *qp.Problem {
 // canceled context aborts between cut rounds with an error wrapping
 // context.Canceled.
 func (cs *cutSolver) solveTau(ctx context.Context, tau, xiNW float64) (obj float64, feasible bool, err error) {
+	cs.rec = obs.From(ctx)
 	opt := cs.opt
 	tolPs := opt.CutTolPs
 	if tolPs <= 0 {
@@ -420,6 +428,7 @@ func (cs *cutSolver) solveTau(ctx context.Context, tau, xiNW float64) (obj float
 			return 0, false, fmt.Errorf("core: cut probe canceled at round %d: %w", round, err)
 		}
 		cs.rounds++
+		cs.rec.Add("core/cut_rounds", 1)
 		if err := cs.ensure(tau, cs.pool.snapshot()); err != nil {
 			return 0, false, err
 		}
@@ -503,6 +512,10 @@ func (cs *cutSolver) solveTau(ctx context.Context, tau, xiNW float64) (obj float
 			if cs.pool.add(cs.makeCut(p, cs.x)) {
 				added++
 			}
+		}
+		cs.rec.Add("core/cuts_added", int64(added))
+		if cs.rec != nil {
+			cs.rec.Set("core/cut_pool_size", float64(cs.pool.size()))
 		}
 		if added == 0 {
 			// All violating paths already cut but the QP solution still

@@ -10,6 +10,7 @@ import (
 	"repro/internal/dosemap"
 	"repro/internal/liberty"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/power"
 	"repro/internal/qp"
@@ -595,6 +596,8 @@ func DMoptQP(golden *sta.Result, model *Model, opt Options, tau float64) (*Resul
 // wraps context.Canceled.
 func DMoptQPCtx(ctx context.Context, golden *sta.Result, model *Model, opt Options, tau float64) (*Result, error) {
 	start := time.Now()
+	ctx, sp := obs.Start(ctx, "core/qp")
+	defer sp.End()
 	opt = opt.normalized()
 	if tau <= 0 {
 		return nil, errors.New("core: non-positive timing constraint")
@@ -651,6 +654,8 @@ func DMoptQCP(golden *sta.Result, model *Model, opt Options) (*Result, error) {
 // iterations) with an error that wraps context.Canceled.
 func DMoptQCPCtx(ctx context.Context, golden *sta.Result, model *Model, opt Options) (*Result, error) {
 	start := time.Now()
+	ctx, sp := obs.Start(ctx, "core/qcp")
+	defer sp.End()
 	opt = opt.normalized()
 	// Lower bound: linear-model MCT at the fastest reachable dose.
 	_, tLo := linearArrivals(golden, func(id int) float64 {
@@ -709,6 +714,7 @@ func DMoptQCPCtx(ctx context.Context, golden *sta.Result, model *Model, opt Opti
 	if best == nil {
 		return nil, errors.New("core: QCP bisection found no feasible clock period")
 	}
+	obs.Add(ctx, "core/qcp_probes", int64(probes))
 	r, err := finish(ctx, prob, best, probes, start)
 	if err != nil {
 		return nil, err
@@ -809,6 +815,7 @@ func qcpByCuts(ctx context.Context, golden *sta.Result, model *Model, opt Option
 	if bestX == nil {
 		return nil, errors.New("core: QCP bisection found no feasible clock period")
 	}
+	obs.Add(ctx, "core/qcp_probes", int64(probes))
 	copy(cs.x, bestX)
 	r, err := cs.result(ctx, probes)
 	if err != nil {

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/dosemap"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/sta"
 	"repro/internal/tech"
@@ -209,6 +210,7 @@ func DosePlCtx(ctx context.Context, golden *sta.Result, layers dosemap.Layers, o
 			best = evalAfter
 			cur = r2
 			plDirty = true
+			obs.Add(ctx, "core/dosepl_rounds_accepted", 1)
 		} else {
 			copy(pl.X, snapX)
 			copy(pl.Y, snapY)
@@ -218,9 +220,15 @@ func DosePlCtx(ctx context.Context, golden *sta.Result, layers dosemap.Layers, o
 			for id := range swappedThisRound {
 				fixed[id] = true // do not retry these cells
 			}
+			obs.Add(ctx, "core/dosepl_rounds_rejected", 1)
 		}
 	}
 	res.After = best
+	if rec := obs.From(ctx); rec != nil {
+		rec.Add("core/dosepl_swaps_tried", int64(res.SwapsTried))
+		rec.Add("core/dosepl_swaps_accepted", int64(res.SwapsAccepted))
+		rec.Add("core/dosepl_swaps_rejected", int64(res.SwapsTried-res.SwapsAccepted))
+	}
 	return res, nil
 }
 

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"repro/internal/gen"
+	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/sta"
 	"repro/internal/tech"
@@ -84,33 +85,41 @@ func Run(d *gen.Design, cfg FlowConfig) (*FlowOutcome, error) {
 // context.Canceled.
 func RunCtx(ctx context.Context, d *gen.Design, cfg FlowConfig) (*FlowOutcome, error) {
 	cfg.Opt = cfg.Opt.normalized()
-	golden, err := GoldenNominalCtx(ctx, d, cfg.Opt.STA)
+	gctx, sp := obs.Start(ctx, "flow/golden")
+	golden, err := GoldenNominalCtx(gctx, d, cfg.Opt.STA)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
-	model, err := FitModelCtx(ctx, golden, cfg.Opt.BothLayers, cfg.Opt.Workers)
+	fctx, sp := obs.Start(ctx, "flow/fit")
+	model, err := FitModelCtx(fctx, golden, cfg.Opt.BothLayers, cfg.Opt.Workers)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
 	var dm *Result
+	dctx, sp := obs.Start(ctx, "flow/dmopt")
 	switch cfg.Mode {
 	case ModeQPLeakage:
 		tau := cfg.TauPs
 		if tau <= 0 {
 			tau = golden.MCT
 		}
-		dm, err = DMoptQPCtx(ctx, golden, model, cfg.Opt, tau)
+		dm, err = DMoptQPCtx(dctx, golden, model, cfg.Opt, tau)
 	case ModeQCPTiming:
-		dm, err = DMoptQCPCtx(ctx, golden, model, cfg.Opt)
+		dm, err = DMoptQCPCtx(dctx, golden, model, cfg.Opt)
 	default:
 		err = fmt.Errorf("core: unknown flow mode %v", cfg.Mode)
 	}
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
 	out := &FlowOutcome{Golden: golden, Model: model, DM: dm, Final: dm.Golden}
 	if cfg.RunDosePl {
-		dp, err := DosePlCtx(ctx, golden, dm.Layers, cfg.Opt, cfg.DosePl)
+		pctx, sp := obs.Start(ctx, "flow/dosepl")
+		dp, err := DosePlCtx(pctx, golden, dm.Layers, cfg.Opt, cfg.DosePl)
+		sp.End()
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/obs"
+)
+
+// runFlowOnce generates a fresh design (dosePl mutates the placement, so
+// the two runs must not share one) and executes the full QCP+dosePl flow
+// under the given context.
+func runFlowOnce(t *testing.T, ctx context.Context) *FlowOutcome {
+	t.Helper()
+	d, err := gen.Generate(gen.AES65().Scaled(0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dopt := DefaultDosePlOptions()
+	dopt.K = 400
+	dopt.Rounds = 3
+	opt := DefaultOptions()
+	opt.Workers = 2 // exercise the par dispatch paths in both runs
+	cfg := FlowConfig{Opt: opt, Mode: ModeQCPTiming, RunDosePl: true, DosePl: dopt}
+	out, err := RunCtx(ctx, d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func bitsEq(t *testing.T, name string, a, b float64) {
+	t.Helper()
+	if math.Float64bits(a) != math.Float64bits(b) {
+		t.Errorf("%s differs with telemetry enabled: %v vs %v", name, a, b)
+	}
+}
+
+// TestObsEnabledBitwiseInert is the telemetry no-interference proof: the
+// full flow (golden STA → fit → QCP bisection with cut pool → dosePl
+// swapping) must produce bit-identical numerics whether or not a
+// Recorder rides the context.
+func TestObsEnabledBitwiseInert(t *testing.T) {
+	off := runFlowOnce(t, context.Background())
+
+	rec := obs.New()
+	on := runFlowOnce(t, obs.With(context.Background(), rec))
+
+	bitsEq(t, "golden MCT", off.Golden.MCT, on.Golden.MCT)
+	bitsEq(t, "DM nominal MCT", off.DM.Nominal.MCTps, on.DM.Nominal.MCTps)
+	bitsEq(t, "DM nominal leak", off.DM.Nominal.LeakUW, on.DM.Nominal.LeakUW)
+	bitsEq(t, "DM golden MCT", off.DM.Golden.MCTps, on.DM.Golden.MCTps)
+	bitsEq(t, "DM golden leak", off.DM.Golden.LeakUW, on.DM.Golden.LeakUW)
+	bitsEq(t, "final MCT", off.Final.MCTps, on.Final.MCTps)
+	bitsEq(t, "final leak", off.Final.LeakUW, on.Final.LeakUW)
+	if off.DM.Probes != on.DM.Probes {
+		t.Errorf("probe count differs: %d vs %d", off.DM.Probes, on.DM.Probes)
+	}
+
+	da, db := off.DM.Layers.Poly.D, on.DM.Layers.Poly.D
+	if len(da) != len(db) {
+		t.Fatalf("dose map size differs: %d vs %d", len(da), len(db))
+	}
+	for i := range da {
+		if math.Float64bits(da[i]) != math.Float64bits(db[i]) {
+			t.Fatalf("dose map cell %d differs: %v vs %v", i, da[i], db[i])
+		}
+	}
+
+	if off.DosePl.SwapsTried != on.DosePl.SwapsTried ||
+		off.DosePl.SwapsAccepted != on.DosePl.SwapsAccepted {
+		t.Errorf("dosePl swap trace differs: tried %d/%d accepted %d/%d",
+			off.DosePl.SwapsTried, on.DosePl.SwapsTried,
+			off.DosePl.SwapsAccepted, on.DosePl.SwapsAccepted)
+	}
+	bitsEq(t, "dosePl after MCT", off.DosePl.After.MCTps, on.DosePl.After.MCTps)
+	bitsEq(t, "dosePl after leak", off.DosePl.After.LeakUW, on.DosePl.After.LeakUW)
+
+	// The enabled run must actually have recorded something — otherwise
+	// this test silently proves nothing.
+	snap := rec.Snapshot()
+	for _, c := range []string{"qp/solves", "sta/analyses"} {
+		if snap.Counters[c] == 0 {
+			t.Errorf("telemetry counter %s empty in enabled run", c)
+		}
+	}
+	if len(snap.Spans) == 0 {
+		t.Error("no spans recorded in enabled run")
+	}
+}

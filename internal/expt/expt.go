@@ -22,6 +22,7 @@ import (
 	"repro/internal/dosemap"
 	"repro/internal/gen"
 	"repro/internal/liberty"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/power"
 	"repro/internal/sta"
@@ -346,6 +347,8 @@ func (c *Context) TableI() (*Table, error) {
 // TableICtx is TableI with cancellation; the per-design generations fan
 // out across workers.
 func (c *Context) TableICtx(ctx context.Context) (*Table, error) {
+	ctx, sp := obs.Start(ctx, "expt/Table I")
+	defer sp.End()
 	t := &Table{
 		ID:     "Table I",
 		Title:  "characteristics of the synthetic testcases (Artisan TSMC stand-ins)",
@@ -485,6 +488,8 @@ func SweepDoses() []float64 {
 }
 
 func (c *Context) doseSweepTable(ctx context.Context, id, design string) (*Table, error) {
+	ctx, sp := obs.Start(ctx, "expt/"+id)
+	defer sp.End()
 	rows, err := c.DoseSweepCtx(ctx, design, SweepDoses())
 	if err != nil {
 		return nil, err
@@ -618,6 +623,8 @@ func (c *Context) TableIV() (*Table, []DMRow, error) {
 // (4 designs × 3 grids × {QP, QCP}) are independent and fan out across
 // workers; rows assemble in the paper's fixed order afterwards.
 func (c *Context) TableIVCtx(ctx context.Context) (*Table, []DMRow, error) {
+	ctx, sp := obs.Start(ctx, "expt/Table IV")
+	defer sp.End()
 	t := &Table{
 		ID:     "Table IV",
 		Title:  "dose map optimization on poly layer (Lgate modulation), δ=2, range ±5%",
@@ -671,6 +678,8 @@ func nominalLeakUW(c *Context, design string) float64 {
 // tableBoth compares Lgate-only against Lgate+Wgate modulation on the
 // 65 nm designs (QCP for Table V, QP for Table VI).
 func (c *Context) tableBoth(ctx context.Context, id string, qcp bool) (*Table, []DMRow, error) {
+	ctx, sp := obs.Start(ctx, "expt/"+id)
+	defer sp.End()
 	title := "QCP for improved timing"
 	if !qcp {
 		title = "QP for improved leakage"
@@ -764,6 +773,8 @@ func (c *Context) TableVII() (*Table, error) {
 // TableVIICtx is TableVII with cancellation; the per-design analyses
 // fan out across workers.
 func (c *Context) TableVIICtx(ctx context.Context) (*Table, error) {
+	ctx, sp := obs.Start(ctx, "expt/Table VII")
+	defer sp.End()
 	t := &Table{
 		ID:     "Table VII",
 		Title:  "percentage of critical timing endpoints near the MCT",
@@ -810,6 +821,8 @@ func (c *Context) TableVIII() (*Table, error) {
 // placements (restoring them afterwards) and therefore serializes with
 // Fig10Profiles on the harness placement lock.
 func (c *Context) TableVIIICtx(ctx context.Context) (*Table, error) {
+	ctx, sp := obs.Start(ctx, "expt/Table VIII")
+	defer sp.End()
 	c.plMu.Lock()
 	defer c.plMu.Unlock()
 	t := &Table{
@@ -866,6 +879,8 @@ func (c *Context) Fig10Profiles(design string) (map[string][]float64, error) {
 // cached placement (restoring it afterwards) and therefore serializes
 // with TableVIII on the harness placement lock.
 func (c *Context) Fig10ProfilesCtx(ctx context.Context, design string) (map[string][]float64, error) {
+	ctx, sp := obs.Start(ctx, "expt/Fig. 10")
+	defer sp.End()
 	c.plMu.Lock()
 	defer c.plMu.Unlock()
 	golden, err := c.GoldenCtx(ctx, design)

@@ -1,0 +1,97 @@
+package liberty_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/liberty"
+	"repro/internal/tech"
+)
+
+// TestLibertyRoundTrip checks the exact contract on the two real
+// libraries: every master survives Serialize→Parse with bit-identical
+// floats, and the reconstructed library produces bit-identical delay,
+// slew, and leakage evaluations.
+func TestLibertyRoundTrip(t *testing.T) {
+	for _, name := range []string{"N65", "N90"} {
+		node, err := tech.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lib := liberty.New(node)
+		s := liberty.Serialize(lib)
+		lib2, err := liberty.Parse(s)
+		if err != nil {
+			t.Fatalf("%s: parse of serialized library: %v", name, err)
+		}
+		if got := liberty.Serialize(lib2); got != s {
+			t.Errorf("%s: serialize∘parse not idempotent", name)
+		}
+		if len(lib2.Masters) != len(lib.Masters) {
+			t.Fatalf("%s: master count %d vs %d", name, len(lib2.Masters), len(lib.Masters))
+		}
+		for i, m := range lib.Masters {
+			m2 := lib2.Masters[i]
+			if m.Name != m2.Name || m.Func != m2.Func || m.Inputs != m2.Inputs || m.Seq != m2.Seq {
+				t.Errorf("%s master %s metadata differs", name, m.Name)
+			}
+			for _, p := range [][2]float64{
+				{m.Drive, m2.Drive}, {m.Area, m2.Area}, {m.CIn, m2.CIn}, {m.Setup, m2.Setup},
+				{m.Dev.Drive, m2.Dev.Drive}, {m.Dev.WNom, m2.Dev.WNom},
+				{m.Dev.TIntr, m2.Dev.TIntr}, {m.Dev.CPar, m2.Dev.CPar}, {m.Dev.LeakNom, m2.Dev.LeakNom},
+			} {
+				if math.Float64bits(p[0]) != math.Float64bits(p[1]) {
+					t.Fatalf("%s master %s float field differs: %v vs %v", name, m.Name, p[0], p[1])
+				}
+			}
+			// The fields feed the same analytic model, so evaluations
+			// must be bit-identical too.
+			if math.Float64bits(m.Delay(0, 0, 30, 6)) != math.Float64bits(m2.Delay(0, 0, 30, 6)) ||
+				math.Float64bits(m.Leakage(-5, 0)) != math.Float64bits(m2.Leakage(-5, 0)) {
+				t.Fatalf("%s master %s evaluation differs after round trip", name, m.Name)
+			}
+		}
+		if _, ok := lib2.Master("INVX1"); !ok {
+			t.Errorf("%s: byName index not rebuilt", name)
+		}
+	}
+}
+
+// FuzzParseLiberty asserts Parse never panics on arbitrary input and
+// that accepted inputs reach a serialize→parse fixed point.
+func FuzzParseLiberty(f *testing.F) {
+	for _, name := range []string{"N65", "N90"} {
+		node, err := tech.ByName(name)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(liberty.Serialize(liberty.New(node)))
+	}
+	f.Add("library \"N65\"\ncell \"A\" \"INV\" 1 1 false 1 1 0\n  dev 1 200 3.6 1 4\n")
+	f.Add("library \"N65\"\ncell \"A\" \"INV\" 1 1 false 1 1 0\n")
+	f.Add("library \"NOPE\"\n")
+	f.Add("cell before header\n")
+	f.Add("library \"N65\"\ncell \"A\" \"INV\" 1 NaN false 1 1 0\n  dev 1 2 3 4 5\n")
+	f.Add("# empty\n")
+	f.Fuzz(func(t *testing.T, s string) {
+		lib, err := liberty.Parse(s)
+		if err != nil {
+			return // malformed input must error, not panic
+		}
+		s1 := liberty.Serialize(lib)
+		lib2, err := liberty.Parse(s1)
+		if err != nil {
+			t.Fatalf("re-parse of serialized accepted input failed: %v\ninput: %q", err, s)
+		}
+		if s2 := liberty.Serialize(lib2); s2 != s1 {
+			t.Fatalf("serialize→parse→serialize not stable\nfirst:  %q\nsecond: %q", s1, s2)
+		}
+		// Every master must be reachable through the byName index.
+		for _, m := range lib.Masters {
+			got, ok := lib.Master(m.Name)
+			if !ok || got != m {
+				t.Fatalf("master %q not indexed", m.Name)
+			}
+		}
+	})
+}

@@ -1,0 +1,178 @@
+package liberty
+
+import (
+	"bufio"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/tech"
+)
+
+// Serialize renders the library in the canonical text form read back by
+// Parse: a "library" header naming the tech node, then one "cell" block
+// per master in inventory order.  Floats are formatted with
+// strconv.FormatFloat(v, 'g', -1, 64), the shortest representation that
+// round-trips the exact float64 bits, so Parse∘Serialize reproduces
+// every characterized value bit-for-bit.
+func Serialize(l *Library) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "library %s\n", strconv.Quote(l.Node.Name))
+	g := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	for _, m := range l.Masters {
+		fmt.Fprintf(&b, "cell %s %s %d %s %t %s %s %s\n",
+			strconv.Quote(m.Name), strconv.Quote(m.Func), m.Inputs,
+			g(m.Drive), m.Seq, g(m.Area), g(m.CIn), g(m.Setup))
+		fmt.Fprintf(&b, "  dev %s %s %s %s %s\n",
+			g(m.Dev.Drive), g(m.Dev.WNom), g(m.Dev.TIntr), g(m.Dev.CPar), g(m.Dev.LeakNom))
+	}
+	return b.String()
+}
+
+// Parse reads the text form produced by Serialize.  The tech node is
+// resolved by name through tech.ByName, so the device physics backing
+// every master is the node's analytic model, not free-floating numbers.
+// Malformed input returns an error, never panics.
+func Parse(s string) (*Library, error) {
+	sc := bufio.NewScanner(strings.NewReader(s))
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var lib *Library
+	var cur *Master
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields, err := splitQuoted(line)
+		if err != nil {
+			return nil, fmt.Errorf("liberty: line %d: %v", lineNo, err)
+		}
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "library":
+			if lib != nil {
+				return nil, fmt.Errorf("liberty: line %d: duplicate library header", lineNo)
+			}
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("liberty: line %d: want 'library NODE'", lineNo)
+			}
+			node, err := tech.ByName(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("liberty: line %d: %v", lineNo, err)
+			}
+			lib = &Library{Node: node, byName: make(map[string]*Master)}
+		case "cell":
+			if lib == nil {
+				return nil, fmt.Errorf("liberty: line %d: cell before library header", lineNo)
+			}
+			if len(fields) != 9 {
+				return nil, fmt.Errorf("liberty: line %d: want 'cell NAME FUNC INPUTS DRIVE SEQ AREA CIN SETUP'", lineNo)
+			}
+			if cur != nil {
+				return nil, fmt.Errorf("liberty: line %d: cell %q missing its dev line", lineNo, cur.Name)
+			}
+			if _, dup := lib.byName[fields[1]]; dup {
+				return nil, fmt.Errorf("liberty: line %d: duplicate cell %q", lineNo, fields[1])
+			}
+			inputs, err := strconv.Atoi(fields[3])
+			if err != nil {
+				return nil, fmt.Errorf("liberty: line %d: bad inputs: %v", lineNo, err)
+			}
+			seq, err := strconv.ParseBool(fields[5])
+			if err != nil {
+				return nil, fmt.Errorf("liberty: line %d: bad seq flag: %v", lineNo, err)
+			}
+			var fs [4]float64 // DRIVE AREA CIN SETUP
+			for i, fld := range []string{fields[4], fields[6], fields[7], fields[8]} {
+				if fs[i], err = strconv.ParseFloat(fld, 64); err != nil {
+					return nil, fmt.Errorf("liberty: line %d: bad float %q: %v", lineNo, fld, err)
+				}
+			}
+			cur = &Master{
+				Name: fields[1], Func: fields[2], Inputs: inputs,
+				Drive: fs[0], Seq: seq, Area: fs[1], CIn: fs[2], Setup: fs[3],
+			}
+			lib.Masters = append(lib.Masters, cur)
+			lib.byName[cur.Name] = cur
+		case "dev":
+			if cur == nil {
+				return nil, fmt.Errorf("liberty: line %d: dev outside a cell block", lineNo)
+			}
+			if len(fields) != 6 {
+				return nil, fmt.Errorf("liberty: line %d: want 'dev DRIVE WNOM TINTR CPAR LEAKNOM'", lineNo)
+			}
+			var vs [5]float64
+			for i := 0; i < 5; i++ {
+				v, err := strconv.ParseFloat(fields[i+1], 64)
+				if err != nil {
+					return nil, fmt.Errorf("liberty: line %d: bad float %q: %v", lineNo, fields[i+1], err)
+				}
+				vs[i] = v
+			}
+			cur.Dev = tech.Device{Node: lib.Node, Drive: vs[0], WNom: vs[1], TIntr: vs[2], CPar: vs[3], LeakNom: vs[4]}
+			cur = nil
+		default:
+			return nil, fmt.Errorf("liberty: line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("liberty: %v", err)
+	}
+	if lib == nil {
+		return nil, fmt.Errorf("liberty: missing library header")
+	}
+	if cur != nil {
+		return nil, fmt.Errorf("liberty: cell %q missing its dev line", cur.Name)
+	}
+	return lib, nil
+}
+
+// splitQuoted tokenizes a line into whitespace-separated fields where a
+// field may be a Go-quoted string.  (Duplicated from the netlist text
+// reader by design: the two formats evolve independently.)
+func splitQuoted(line string) ([]string, error) {
+	var out []string
+	i := 0
+	for i < len(line) {
+		for i < len(line) && (line[i] == ' ' || line[i] == '\t') {
+			i++
+		}
+		if i >= len(line) {
+			break
+		}
+		if line[i] == '"' {
+			j := i + 1
+			for j < len(line) {
+				if line[j] == '\\' {
+					j += 2
+					continue
+				}
+				if line[j] == '"' {
+					break
+				}
+				j++
+			}
+			if j >= len(line) {
+				return nil, fmt.Errorf("unterminated quote")
+			}
+			tok, err := strconv.Unquote(line[i : j+1])
+			if err != nil {
+				return nil, fmt.Errorf("bad quoted field %s: %v", line[i:j+1], err)
+			}
+			out = append(out, tok)
+			i = j + 1
+		} else {
+			j := i
+			for j < len(line) && line[j] != ' ' && line[j] != '\t' {
+				j++
+			}
+			out = append(out, line[i:j])
+			i = j
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,111 @@
+package netlist_test
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/netlist"
+)
+
+// seedCircuits builds representative circuits for the fuzz corpus: a
+// tiny hand-wired pipeline plus a real generated design (external test
+// package, so importing gen creates no cycle).
+func seedCircuits(tb testing.TB) []*netlist.Circuit {
+	tb.Helper()
+	c := netlist.New("hand")
+	pi := c.AddGate("in0", "", netlist.PI)
+	g1 := c.AddGate("u1", "INVX1", netlist.Comb)
+	g2 := c.AddGate("u2 with space", `NAND2X1"q`, netlist.Comb)
+	ff := c.AddGate("ff", "DFFX1", netlist.Seq)
+	po := c.AddGate("out0", "", netlist.PO)
+	for _, e := range [][2]int{{pi.ID, g1.ID}, {g1.ID, g2.ID}, {pi.ID, g2.ID}, {g2.ID, ff.ID}, {ff.ID, g1.ID}, {g2.ID, po.ID}} {
+		if err := c.Connect(e[0], e[1]); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	d, err := gen.Generate(gen.AES65().Scaled(0.02))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return []*netlist.Circuit{c, d.Circ}
+}
+
+// TestNetlistRoundTrip checks the exact contract on well-formed input:
+// Serialize∘Parse is the identity on the serialized form, and the
+// reconstructed circuit preserves every gate and every fanin pin order.
+func TestNetlistRoundTrip(t *testing.T) {
+	for _, c := range seedCircuits(t) {
+		s := netlist.Serialize(c)
+		c2, err := netlist.Parse(s)
+		if err != nil {
+			t.Fatalf("parse of serialized %q: %v", c.Name, err)
+		}
+		if got := netlist.Serialize(c2); got != s {
+			t.Errorf("%q: serialize∘parse not idempotent", c.Name)
+		}
+		if c2.NumGates() != c.NumGates() {
+			t.Fatalf("%q: gate count %d vs %d", c.Name, c2.NumGates(), c.NumGates())
+		}
+		for i, g := range c.Gates {
+			h := c2.Gates[i]
+			if g.Name != h.Name || g.Master != h.Master || g.Kind != h.Kind {
+				t.Errorf("%q gate %d metadata differs", c.Name, i)
+			}
+			if len(g.Fanins) != len(h.Fanins) {
+				t.Fatalf("%q gate %d fanin count differs", c.Name, i)
+			}
+			for p := range g.Fanins {
+				if g.Fanins[p] != h.Fanins[p] {
+					t.Errorf("%q gate %d fanin pin %d differs", c.Name, i, p)
+				}
+			}
+		}
+	}
+}
+
+// FuzzParseNetlist asserts Parse never panics on arbitrary input, and
+// that any input it accepts reaches a serialize→parse fixed point with
+// an internally consistent circuit.
+func FuzzParseNetlist(f *testing.F) {
+	for _, c := range seedCircuits(f) {
+		f.Add(netlist.Serialize(c))
+	}
+	f.Add("circuit \"x\"\ngate \"a\" \"\" pi\ngate \"b\" \"\" po\nconn 0 1\n")
+	f.Add("circuit \"dup\"\nconn 0 0\n")
+	f.Add("gate \"orphan\" \"\" comb\n")
+	f.Add("circuit \"bad\"\ngate \"a\" \"\" zzz\n")
+	f.Add("# comment only\n\n")
+	f.Add("circuit \"q\"\ngate \"unterminated\n")
+	f.Fuzz(func(t *testing.T, s string) {
+		// A panic here is reported by the fuzz engine as a crash — the
+		// no-panic property needs no explicit recover.
+		c, err := netlist.Parse(s)
+		if err != nil {
+			return // malformed input must error, not panic — done
+		}
+		s1 := netlist.Serialize(c)
+		c2, err := netlist.Parse(s1)
+		if err != nil {
+			t.Fatalf("re-parse of serialized accepted input failed: %v\ninput: %q", err, s)
+		}
+		if s2 := netlist.Serialize(c2); s2 != s1 {
+			t.Fatalf("serialize→parse→serialize not stable\nfirst:  %q\nsecond: %q", s1, s2)
+		}
+		// Accepted circuits must uphold the adjacency invariant Connect
+		// maintains: every fanin edge has a matching fanout entry.
+		for _, g := range c.Gates {
+			for _, from := range g.Fanins {
+				found := false
+				for _, fo := range c.Gates[from].Fanouts {
+					if fo == g.ID {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Fatalf("gate %d fanin %d lacks reciprocal fanout", g.ID, from)
+				}
+			}
+		}
+	})
+}

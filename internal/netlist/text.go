@@ -1,0 +1,165 @@
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Serialize renders the circuit in the canonical text form read back by
+// Parse.  Gates appear in ID order; edges appear grouped by sink gate in
+// fanin pin order, which is the only edge order that carries timing
+// semantics (pin order selects the input-pin capacitance and arc).
+// Re-parsing the output therefore reconstructs every Fanins slice
+// exactly; Fanouts slices are rebuilt in edge-replay order, which
+// Serialize itself never observes, making Serialize∘Parse idempotent.
+func Serialize(c *Circuit) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "circuit %s\n", strconv.Quote(c.Name))
+	for _, g := range c.Gates {
+		fmt.Fprintf(&b, "gate %s %s %s\n", strconv.Quote(g.Name), strconv.Quote(g.Master), g.Kind)
+	}
+	for _, g := range c.Gates {
+		for _, from := range g.Fanins {
+			fmt.Fprintf(&b, "conn %d %d\n", from, g.ID)
+		}
+	}
+	return b.String()
+}
+
+// parseKind inverts Kind.String.
+func parseKind(s string) (Kind, error) {
+	switch s {
+	case "comb":
+		return Comb, nil
+	case "seq":
+		return Seq, nil
+	case "pi":
+		return PI, nil
+	case "po":
+		return PO, nil
+	}
+	return 0, fmt.Errorf("netlist: unknown gate kind %q", s)
+}
+
+// Parse reads the text form produced by Serialize.  The format is
+// line-oriented: a "circuit" header, one "gate" line per node in ID
+// order, then "conn FROM TO" edge lines replayed through Connect (so all
+// structural invariants — range checks, no self-loops, port
+// directionality — are enforced during parsing).  Blank lines and
+// #-comments are ignored.  Malformed input returns an error, never
+// panics.
+func Parse(s string) (*Circuit, error) {
+	sc := bufio.NewScanner(strings.NewReader(s))
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var c *Circuit
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields, err := splitQuoted(line)
+		if err != nil {
+			return nil, fmt.Errorf("netlist: line %d: %v", lineNo, err)
+		}
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "circuit":
+			if c != nil {
+				return nil, fmt.Errorf("netlist: line %d: duplicate circuit header", lineNo)
+			}
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("netlist: line %d: want 'circuit NAME'", lineNo)
+			}
+			c = New(fields[1])
+		case "gate":
+			if c == nil {
+				return nil, fmt.Errorf("netlist: line %d: gate before circuit header", lineNo)
+			}
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("netlist: line %d: want 'gate NAME MASTER KIND'", lineNo)
+			}
+			kind, err := parseKind(fields[3])
+			if err != nil {
+				return nil, fmt.Errorf("netlist: line %d: %v", lineNo, err)
+			}
+			c.AddGate(fields[1], fields[2], kind)
+		case "conn":
+			if c == nil {
+				return nil, fmt.Errorf("netlist: line %d: conn before circuit header", lineNo)
+			}
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("netlist: line %d: want 'conn FROM TO'", lineNo)
+			}
+			from, err1 := strconv.Atoi(fields[1])
+			to, err2 := strconv.Atoi(fields[2])
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("netlist: line %d: non-integer gate id", lineNo)
+			}
+			if err := c.Connect(from, to); err != nil {
+				return nil, fmt.Errorf("netlist: line %d: %v", lineNo, err)
+			}
+		default:
+			return nil, fmt.Errorf("netlist: line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("netlist: %v", err)
+	}
+	if c == nil {
+		return nil, fmt.Errorf("netlist: missing circuit header")
+	}
+	return c, nil
+}
+
+// splitQuoted tokenizes a line into whitespace-separated fields where a
+// field may be a Go-quoted string (names can hold spaces or any bytes).
+// Quoted fields are unquoted in the result.
+func splitQuoted(line string) ([]string, error) {
+	var out []string
+	i := 0
+	for i < len(line) {
+		for i < len(line) && (line[i] == ' ' || line[i] == '\t') {
+			i++
+		}
+		if i >= len(line) {
+			break
+		}
+		if line[i] == '"' {
+			// Find the end of the quoted token: the next unescaped quote.
+			j := i + 1
+			for j < len(line) {
+				if line[j] == '\\' {
+					j += 2
+					continue
+				}
+				if line[j] == '"' {
+					break
+				}
+				j++
+			}
+			if j >= len(line) {
+				return nil, fmt.Errorf("unterminated quote")
+			}
+			tok, err := strconv.Unquote(line[i : j+1])
+			if err != nil {
+				return nil, fmt.Errorf("bad quoted field %s: %v", line[i:j+1], err)
+			}
+			out = append(out, tok)
+			i = j + 1
+		} else {
+			j := i
+			for j < len(line) && line[j] != ' ' && line[j] != '\t' {
+				j++
+			}
+			out = append(out, line[i:j])
+			i = j
+		}
+	}
+	return out, nil
+}

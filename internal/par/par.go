@@ -26,6 +26,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // Workers resolves a worker-count knob: n > 0 is used as given, any
@@ -63,6 +66,18 @@ func Do(ctx context.Context, n, workers int, f func(i int) error) error {
 		return nil
 	}
 
+	// Telemetry is observational only: when no Recorder rides the
+	// context (rec == nil) the loop below is byte-for-byte the untimed
+	// dispatch, so the disabled path stays allocation- and
+	// syscall-free.  When enabled, each worker accumulates its busy
+	// time locally and folds it in once on exit, so nothing is shared
+	// per item.
+	rec := obs.From(ctx)
+	var wallStart time.Time
+	var busyNS atomic.Int64
+	if rec != nil {
+		wallStart = time.Now()
+	}
 	var (
 		next    atomic.Int64
 		stopped atomic.Bool
@@ -82,7 +97,13 @@ func Do(ctx context.Context, n, workers int, f func(i int) error) error {
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
-			defer wg.Done()
+			var busy time.Duration
+			defer func() {
+				if rec != nil {
+					busyNS.Add(int64(busy))
+				}
+				wg.Done()
+			}()
 			for {
 				if stopped.Load() {
 					return
@@ -95,7 +116,15 @@ func Do(ctx context.Context, n, workers int, f func(i int) error) error {
 				if i >= n {
 					return
 				}
-				if err := f(i); err != nil {
+				var err error
+				if rec != nil {
+					t0 := time.Now()
+					err = f(i)
+					busy += time.Since(t0)
+				} else {
+					err = f(i)
+				}
+				if err != nil {
 					fail(i, err)
 					return
 				}
@@ -103,6 +132,17 @@ func Do(ctx context.Context, n, workers int, f func(i int) error) error {
 		}()
 	}
 	wg.Wait()
+	if rec != nil {
+		wall := time.Since(wallStart)
+		rec.Add("par/do_calls", 1)
+		rec.Add("par/items", int64(min(int(next.Load()), n)))
+		rec.Observe("par/worker_busy", time.Duration(busyNS.Load()))
+		if wall > 0 {
+			// Occupancy ∈ (0, 1]: fraction of worker·wall capacity
+			// spent inside f.
+			rec.Set("par/occupancy", float64(busyNS.Load())/(float64(workers)*float64(wall)))
+		}
+	}
 	if firstEr != nil {
 		return firstEr
 	}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/obs"
 	"repro/internal/par"
 )
 
@@ -193,6 +194,12 @@ type Solver struct {
 
 	rho float64
 
+	// solves counts completed SolveCtx calls; warmed records an explicit
+	// WarmStart.  Together they classify a solve as warm-started (reusing
+	// iterate state) for telemetry.
+	solves int
+	warmed bool
+
 	orig *Problem
 }
 
@@ -367,6 +374,7 @@ func (s *Solver) WarmStart(x, y []float64) error {
 			s.y[i] = y[i] / (s.e[i] * s.cinv)
 		}
 	}
+	s.warmed = true
 	return nil
 }
 
@@ -511,6 +519,23 @@ func (s *Solver) SolveCtx(ctx context.Context) (*Result, error) {
 	}
 	res.Obj = s.orig.Objective(res.X)
 	res.RhoFinal = s.rho
+
+	// Telemetry: pure observation after the solve, so it cannot perturb
+	// the trajectory.  A solve is a warm-start hit when it reuses iterate
+	// state — any solve after the first, or after an explicit WarmStart.
+	warm := s.solves > 0 || s.warmed
+	s.solves++
+	if rec := obs.From(ctx); rec != nil {
+		rec.Add("qp/solves", 1)
+		rec.Add("qp/iterations", int64(res.Iters))
+		rec.Add("qp/cg_iterations", int64(res.CGIters))
+		rec.Add("qp/restarts", int64(res.Restarts))
+		if warm {
+			rec.Add("qp/warm_start_hits", 1)
+		}
+		rec.Set("qp/prim_res", res.PrimRes)
+		rec.Set("qp/dual_res", res.DualRes)
+	}
 	return res, cause
 }
 

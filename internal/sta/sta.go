@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/liberty"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/place"
 	"repro/internal/tech"
@@ -323,6 +324,10 @@ func AnalyzeCtx(ctx context.Context, in Input, cfg Config, pert *Perturb) (*Resu
 		if math.IsInf(r.ROut[id], 1) {
 			r.ROut[id] = r.MCT
 		}
+	}
+	if rec := obs.From(ctx); rec != nil {
+		rec.Add("sta/analyses", 1)
+		rec.Add("sta/analyze_gate_evals", int64(3*n+len(seqIDs)))
 	}
 	return r, nil
 }

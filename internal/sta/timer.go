@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/netlist"
+	"repro/internal/obs"
 )
 
 // Timer is a reusable incremental timing engine.  It is constructed once
@@ -68,6 +69,11 @@ type Timer struct {
 	// evals counts gate evaluations (load recomputes, launch updates,
 	// forwardGate and gatherRequired calls) for perf accounting.
 	evals uint64
+
+	// rec is the telemetry recorder captured at construction (nil when
+	// disabled); updates emit aggregate counters once per finish, never
+	// inside the per-gate loops.
+	rec *obs.Recorder
 }
 
 // NewTimer builds a Timer for the design, running one full analysis to
@@ -89,7 +95,7 @@ func NewTimerCtx(ctx context.Context, in Input, cfg Config, pert *Perturb) (*Tim
 		return nil, err
 	}
 	t := &Timer{
-		in: in, cfg: cfg, res: res,
+		in: in, cfg: cfg, res: res, rec: obs.From(ctx),
 		prevX:    append([]float64(nil), in.Pl.X...),
 		prevY:    append([]float64(nil), in.Pl.Y...),
 		fdirty:   make([]uint32, n),
@@ -292,6 +298,8 @@ func (t *Timer) seedPertChange(id int) {
 // MCT, backward cone — mirroring Analyze's phase order exactly.
 func (t *Timer) finish() *Result {
 	r, in, cfg := t.res, t.in, t.cfg
+	evalsBefore := t.evals
+	var fwdVisits, cutoffs int64
 
 	// Loads first (they depend only on placement and fanout pins).  A
 	// changed load re-evaluates the gate's own delay, its launch if it
@@ -350,11 +358,14 @@ func (t *Timer) finish() *Result {
 			oldS := math.Float64bits(r.Slew[id])
 			forwardGate(r, in, cfg, t.pert, id)
 			t.evals++
+			fwdVisits++
 			slewChanged := math.Float64bits(r.Slew[id]) != oldS
 			if slewChanged || math.Float64bits(r.AOut[id]) != oldA {
 				for _, fo := range in.Circ.Gates[id].Fanouts {
 					t.markF(fo)
 				}
+			} else {
+				cutoffs++ // bitwise unchanged: wavefront stops here
 			}
 			if slewChanged {
 				t.markB(id) // gather of id reads its own output slew
@@ -377,10 +388,22 @@ func (t *Timer) finish() *Result {
 	// Backward: every stored required time is anchored to MCT, so a
 	// changed MCT invalidates all of them — replay Analyze's full pass.
 	// Otherwise only the dirty cone is re-gathered.
-	if math.Float64bits(r.MCT) != oldMCT {
+	fullB := math.Float64bits(r.MCT) != oldMCT
+	if fullB {
 		t.fullBackward()
 	} else {
 		t.incrementalBackward()
+	}
+	if t.rec != nil {
+		t.rec.Add("sta/updates", 1)
+		t.rec.Add("sta/update_gate_evals", int64(t.evals-evalsBefore))
+		t.rec.Add("sta/dirty_cone_gates", fwdVisits)
+		t.rec.Add("sta/early_cutoffs", cutoffs)
+		if fullB {
+			t.rec.Add("sta/full_backward_passes", 1)
+		} else {
+			t.rec.Add("sta/incremental_backward_passes", 1)
+		}
 	}
 	return r
 }
@@ -469,6 +492,7 @@ type TimerState struct {
 // the placement restored to the same coordinates by the caller) resumes
 // incremental updates from this exact point.
 func (t *Timer) Snapshot() *TimerState {
+	t.rec.Add("sta/snapshots", 1)
 	r := t.res
 	return &TimerState{
 		aout:    append([]float64(nil), r.AOut...),
@@ -491,6 +515,7 @@ func (t *Timer) Snapshot() *TimerState {
 // coordinates it had at snapshot time (dosePl's rollback does exactly
 // that); the Timer re-syncs its position mirror from the snapshot.
 func (t *Timer) Restore(s *TimerState) {
+	t.rec.Add("sta/restores", 1)
 	r := t.res
 	copy(r.AOut, s.aout)
 	copy(r.AEnd, s.aend)
