@@ -29,12 +29,14 @@ bench:
 	$(GO) test -bench=TableIV -benchtime=1x -run=^$$ .
 
 # Schema-versioned benchmark report (git rev, scale, workers, per-stage
-# span timings, solver iteration and gate-eval counters).  Built as a
-# binary (not `go run`) so the toolchain stamps vcs.revision into the
-# report's git_rev field.
+# span timings, solver iteration and gate-eval counters, linear-system
+# backend).  Built as a binary (not `go run`) so the toolchain stamps
+# vcs.revision into the report's git_rev field.  Also runs the CG vs
+# LDLᵀ micro-benchmark on the cut-pool matrix.
 bench-json:
+	$(GO) test ./internal/core/ -run '^$$' -bench LinSys -benchtime 3x
 	$(GO) build -o tables.bin ./cmd/tables
-	./tables.bin -scale 0.15 -k 2000 -which iv -bench-json BENCH_pr3.json
+	./tables.bin -scale 0.15 -k 2000 -which iv -bench-json BENCH_pr4.json
 	rm -f tables.bin
 
 # 30-second CI smoke of each native fuzz target (corpus + new inputs).

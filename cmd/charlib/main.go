@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/liberty"
 	"repro/internal/obs"
+	"repro/internal/qp"
 	"repro/internal/tech"
 )
 
@@ -26,7 +27,13 @@ func main() {
 	tables := flag.Bool("tables", false, "dump dose-variant NLDM tables for -master")
 	workers := flag.Int("workers", 0, "parallel fan-out of the per-variant characterization; 0 = GOMAXPROCS")
 	stats := flag.Bool("stats", false, "print run telemetry (spans, counters) to stderr")
+	linsysFlag := flag.String("linsys", "auto", "ADMM linear-system backend (accepted for flag parity; this command runs no QP solves)")
 	flag.Parse()
+
+	if _, err := qp.ParseLinSys(*linsysFlag); err != nil {
+		fmt.Fprintf(os.Stderr, "charlib: %v\n", err)
+		os.Exit(1)
+	}
 
 	ctx := context.Background()
 	var rec *obs.Recorder

@@ -19,6 +19,7 @@ import (
 
 	"repro"
 	"repro/internal/obs"
+	"repro/internal/qp"
 )
 
 func main() {
@@ -31,6 +32,7 @@ func main() {
 	xi := flag.Float64("xi", 0, "QCP leakage budget ξ in nW (Δleakage allowed)")
 	dosepl := flag.Bool("dosepl", false, "run dosePl cell-swapping rounds after DMopt")
 	workers := flag.Int("workers", 0, "parallel fan-out of STA/fit/solver; 0 = GOMAXPROCS (bit-identical results)")
+	linsysFlag := flag.String("linsys", "auto", "ADMM linear-system backend: auto, cg or ldlt")
 	stats := flag.Bool("stats", false, "print run telemetry (spans, counters) to stderr")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -61,12 +63,16 @@ func main() {
 	check(err)
 	fmt.Printf("generated %s: %d cells in %v\n", preset.Name, d.Circ.NumCells(), time.Since(start).Round(time.Millisecond))
 
+	linsys, err := qp.ParseLinSys(*linsysFlag)
+	check(err)
+
 	opt := repro.DefaultOptions()
 	opt.G = *grid
 	opt.Delta = *delta
 	opt.BothLayers = *both
 	opt.XiNW = *xi
 	opt.Workers = *workers
+	opt.QP.LinSys = linsys
 
 	mode := repro.ModeQPLeakage
 	if *qcp {

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/expt"
 	"repro/internal/obs"
+	"repro/internal/qp"
 )
 
 func main() {
@@ -24,7 +25,13 @@ func main() {
 	scale := flag.Float64("scale", 0.15, "design scale factor in (0,1]")
 	workers := flag.Int("workers", 0, "parallel fan-out across sweep points; 0 = GOMAXPROCS")
 	stats := flag.Bool("stats", false, "print run telemetry (spans, counters) to stderr")
+	linsysFlag := flag.String("linsys", "auto", "ADMM linear-system backend (accepted for flag parity; this command runs no QP solves)")
 	flag.Parse()
+
+	if _, err := qp.ParseLinSys(*linsysFlag); err != nil {
+		fmt.Fprintf(os.Stderr, "dosesweep: %v\n", err)
+		os.Exit(1)
+	}
 
 	ctx := context.Background()
 	var rec *obs.Recorder

@@ -26,6 +26,7 @@ import (
 	"repro/internal/expt"
 	"repro/internal/obs"
 	"repro/internal/par"
+	"repro/internal/qp"
 )
 
 func main() {
@@ -35,6 +36,7 @@ func main() {
 	which := flag.String("which", "all", "comma-separated experiment list, or 'all'")
 	fig10Design := flag.String("fig10", "AES-65", "design for the Fig. 10 slack profiles")
 	workers := flag.Int("workers", 0, "parallel fan-out per experiment; 0 = GOMAXPROCS")
+	linsysFlag := flag.String("linsys", "auto", "ADMM linear-system backend: auto, cg or ldlt")
 	stats := flag.Bool("stats", false, "print run telemetry (spans, counters) to stderr")
 	benchJSON := flag.String("bench-json", "", "write a machine-readable benchmark report to this file")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -45,6 +47,9 @@ func main() {
 	defer stopProfile()
 	defer writeMemProfile(*memprofile)
 
+	linsys, err := qp.ParseLinSys(*linsysFlag)
+	check(err)
+
 	ctx := context.Background()
 	var rec *obs.Recorder
 	if *stats || *benchJSON != "" {
@@ -52,7 +57,8 @@ func main() {
 		ctx = obs.With(ctx, rec)
 	}
 
-	c := expt.New(expt.WithScale(*scale), expt.WithTopK(*k), expt.WithWorkers(*workers))
+	c := expt.New(expt.WithScale(*scale), expt.WithTopK(*k), expt.WithWorkers(*workers),
+		expt.WithLinSys(linsys))
 	sel := map[string]bool{}
 	for _, w := range strings.Split(strings.ToLower(*which), ",") {
 		sel[strings.TrimSpace(w)] = true
@@ -125,6 +131,7 @@ func main() {
 		}
 		if *benchJSON != "" {
 			rep := rec.Report("tables -which "+*which, *scale, *k, par.Workers(*workers), wall)
+			rep.LinSys = linsys.String()
 			check(rep.WriteJSON(*benchJSON))
 			fmt.Fprintf(os.Stderr, "tables: wrote benchmark report to %s\n", *benchJSON)
 		}

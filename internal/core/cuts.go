@@ -163,6 +163,46 @@ func (cs *cutSolver) ensure(tau float64, cuts []cut) error {
 		// inside the solver.
 		return cs.solver.WarmStart(cs.x, nil)
 	}
+	if cs.solver != nil && len(cuts) > cs.builtCuts {
+		// Append-only growth: cut rows sit after the fixed box/smoothness
+		// prefix, so new cuts extend the live solver in place — the
+		// factorized/preconditioned state for the old rows survives and
+		// only the appended rows cost symbolic work.  Duals persist inside
+		// the solver with zeros on the new rows, exactly the zero-padded
+		// carry-over the rebuild path used to reconstruct.
+		cs.rec.Add("core/solver_row_appends", 1)
+		newCuts := cuts[cs.builtCuts:]
+		tr := qp.NewTriplet(len(newCuts), cs.nVar)
+		inf := math.Inf(1)
+		l := make([]float64, len(newCuts))
+		u := make([]float64, len(newCuts))
+		for i, c := range newCuts {
+			for k := range c.cols {
+				tr.Add(i, c.cols[k], c.vals[k])
+			}
+			l[i] = -inf
+			u[i] = tau - c.nom
+		}
+		newA := tr.Compile()
+		if err := cs.solver.AppendRows(newA, l, u); err != nil {
+			return err
+		}
+		cs.prob.A = qp.ConcatRows(cs.prob.A, newA)
+		cs.prob.L = append(cs.prob.L, l...)
+		cs.prob.U = append(cs.prob.U, u...)
+		cs.builtCuts = len(cuts)
+		if tau != cs.builtTau {
+			base := len(cs.prob.U) - cs.builtCuts
+			for i, c := range cuts {
+				cs.prob.U[base+i] = tau - c.nom
+			}
+			if err := cs.solver.UpdateBounds(cs.prob.L, cs.prob.U); err != nil {
+				return err
+			}
+			cs.builtTau = tau
+		}
+		return cs.solver.WarmStart(cs.x, nil)
+	}
 	cs.rec.Add("core/solver_rebuilds", 1)
 	cs.prob = cs.buildProblem(tau, cuts)
 	solver, err := qp.NewSolver(cs.prob, cs.opt.QP)
@@ -441,7 +481,7 @@ func (cs *cutSolver) solveTau(ctx context.Context, tau, xiNW float64) (obj float
 			cs.resetSolver() // certificate duals would poison warm starts
 			return 0, false, nil
 		}
-		if res.Status != qp.Solved && cs.prob.MaxViolation(res.X) > 0.2 {
+		if res.Status != qp.Solved && cs.solver.MaxViolation(res.X) > 0.2 {
 			// Still stalled after the in-solver restarts: retry the round
 			// once on a completely fresh solver (new equilibration and
 			// ADMM state) warm-started at the stalled iterate, under the
@@ -460,7 +500,7 @@ func (cs *cutSolver) solveTau(ctx context.Context, tau, xiNW float64) (obj float
 			if err != nil {
 				return 0, false, err
 			}
-			viol := cs.prob.MaxViolation(res.X)
+			viol := solver.MaxViolation(res.X)
 			cs.resetSolver()
 			if res.Status == qp.PrimalInfeasible {
 				return 0, false, nil

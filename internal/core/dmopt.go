@@ -44,6 +44,13 @@ type Options struct {
 	// BisectTol is the relative clock-period tolerance of the QCP
 	// bisection.
 	BisectTol float64
+	// SeedTau warm-brackets the QCP bisection: a clock period (ps) that a
+	// related run — the previous table row or sweep point — found
+	// feasible.  When it falls inside the fresh [lo, hi] interval the
+	// bisection probes a tight bracket around it first instead of
+	// halving from scratch; a stale seed costs at most two probes and
+	// still narrows the interval.  Zero disables the hint.
+	SeedTau float64
 	// MaxProbes bounds the QCP bisection length.
 	MaxProbes int
 	// Method selects the solve engine: the default cutting-plane engine
@@ -762,6 +769,42 @@ func qcpByCuts(ctx context.Context, golden *sta.Result, model *Model, opt Option
 		return nil, errors.New("core: QCP bisection found no feasible clock period")
 	}
 	bestX = append(bestX[:0], cs.x...)
+
+	// Warm bracket: when a related run already located the feasibility
+	// frontier, probe a half-tolerance band around its period.  Both
+	// probes landing as predicted collapses the interval to the stop
+	// width — the log₂ bisection never runs; a moved frontier degrades
+	// to ordinary bisection on a one-sided narrowed interval.
+	if seed := opt.SeedTau; seed > lo && seed < hi && probes < opt.MaxProbes {
+		guard := 0.5 * opt.BisectTol * golden.MCT
+		up := math.Min(seed+guard, hi)
+		ok, err := probe(cs, up)
+		probes++
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			hi = up
+			bestX = append(bestX[:0], cs.x...)
+			obs.Add(ctx, "core/bisect_bracket_hits", 1)
+			if down := seed - guard; down > lo && probes < opt.MaxProbes &&
+				(hi-lo) > opt.BisectTol*golden.MCT {
+				ok, err = probe(cs, down)
+				probes++
+				if err != nil {
+					return nil, err
+				}
+				if ok {
+					hi = down
+					bestX = append(bestX[:0], cs.x...)
+				} else {
+					lo = down
+				}
+			}
+		} else {
+			lo = up
+		}
+	}
 
 	speculative := opt.Speculate && par.Workers(opt.Workers) > 1
 	for probes < opt.MaxProbes && (hi-lo) > opt.BisectTol*golden.MCT {

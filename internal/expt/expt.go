@@ -25,6 +25,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/power"
+	"repro/internal/qp"
 	"repro/internal/sta"
 	"repro/internal/tech"
 )
@@ -106,6 +107,9 @@ type Context struct {
 	// and the Workers knobs of the underlying STA/fit/QP layers.  Zero
 	// selects runtime.GOMAXPROCS(0).
 	Workers int
+	// LinSys selects the ADMM x-step backend for every QP the harness
+	// solves (auto / cg / ldlt).
+	LinSys qp.LinSys
 
 	mu      sync.Mutex
 	designs map[string]*memo[*gen.Design]
@@ -160,6 +164,12 @@ func WithTopK(k int) Option {
 // runtime.GOMAXPROCS(0).
 func WithWorkers(n int) Option {
 	return func(c *Context) { c.Workers = n }
+}
+
+// WithLinSys selects the ADMM x-step linear-system backend for every QP
+// the harness solves.
+func WithLinSys(l qp.LinSys) Option {
+	return func(c *Context) { c.LinSys = l }
 }
 
 // New returns a harness context with the paper's configuration (full
@@ -557,6 +567,12 @@ func (c *Context) RunDM(design string, gridUm float64, qcp, bothLayers bool) (*c
 // RunDMCtx is RunDM with cancellation; the fit, solver and signoff all
 // run with the harness worker knob.
 func (c *Context) RunDMCtx(ctx context.Context, design string, gridUm float64, qcp, bothLayers bool) (*core.Result, error) {
+	return c.runDM(ctx, design, gridUm, qcp, bothLayers, 0)
+}
+
+// runDM is RunDMCtx with a warm-bracket seed: seedTau > 0 passes a
+// related run's achieved clock period into the QCP bisection.
+func (c *Context) runDM(ctx context.Context, design string, gridUm float64, qcp, bothLayers bool, seedTau float64) (*core.Result, error) {
 	golden, err := c.GoldenCtx(ctx, design)
 	if err != nil {
 		return nil, err
@@ -569,7 +585,9 @@ func (c *Context) RunDMCtx(ctx context.Context, design string, gridUm float64, q
 	opt.G = gridUm
 	opt.BothLayers = bothLayers
 	opt.Workers = c.Workers
+	opt.QP.LinSys = c.LinSys
 	if qcp {
+		opt.SeedTau = seedTau
 		return core.DMoptQCPCtx(ctx, golden, model, opt)
 	}
 	// Tighten τ a hair below the nominal MCT: the optimizer's linear
@@ -598,19 +616,53 @@ type dmJob struct {
 	label  string // engine or mode column
 }
 
-// runDMJobs fans the independent optimization runs across workers and
-// returns their results in job order.  Each run is bit-identical to a
-// serial execution, so only the Runtime column varies between worker
-// counts.
+// runDMJobs fans the optimization runs across workers and returns their
+// results in job order.  QCP runs of the same design and mode form a
+// serial chain in the given grid order, each seeded with the previous
+// grid's achieved clock period (the warm bracket); QP runs stay
+// independent singletons.  Chains are internally serial and mutually
+// independent, so the rows stay bit-identical for every worker count —
+// only the Runtime column varies.
 func (c *Context) runDMJobs(ctx context.Context, jobs []dmJob) ([]DMRow, error) {
-	return par.Map(ctx, len(jobs), par.Workers(c.Workers), func(i int) (DMRow, error) {
-		j := jobs[i]
-		r, err := c.RunDMCtx(ctx, j.design, j.grid, j.qcp, j.both)
-		if err != nil {
-			return DMRow{}, fmt.Errorf("%s %s %g µm: %w", j.design, j.label, j.grid, err)
+	type item struct {
+		idx int
+		job dmJob
+	}
+	var chains [][]item
+	chainOf := map[string]int{}
+	for idx, j := range jobs {
+		if !j.qcp {
+			chains = append(chains, []item{{idx, j}})
+			continue
 		}
-		return dmRow(j.design, j.grid, j.label, r), nil
+		key := fmt.Sprintf("%s|%s|%t", j.design, j.label, j.both)
+		if ci, ok := chainOf[key]; ok {
+			chains[ci] = append(chains[ci], item{idx, j})
+		} else {
+			chainOf[key] = len(chains)
+			chains = append(chains, []item{{idx, j}})
+		}
+	}
+	rows := make([]DMRow, len(jobs))
+	_, err := par.Map(ctx, len(chains), par.Workers(c.Workers), func(i int) (struct{}, error) {
+		seed := 0.0
+		for _, it := range chains[i] {
+			j := it.job
+			r, err := c.runDM(ctx, j.design, j.grid, j.qcp, j.both, seed)
+			if err != nil {
+				return struct{}{}, fmt.Errorf("%s %s %g µm: %w", j.design, j.label, j.grid, err)
+			}
+			if j.qcp {
+				seed = r.PredMCT
+			}
+			rows[it.idx] = dmRow(j.design, j.grid, j.label, r)
+		}
+		return struct{}{}, nil
 	})
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
 }
 
 // TableIV runs QP and QCP poly-layer optimization over every design and
@@ -847,6 +899,7 @@ func (c *Context) TableVIIICtx(ctx context.Context) (*Table, error) {
 		opt := core.DefaultOptions()
 		opt.G = gridsFor(name, c.Scale)[0]
 		opt.Workers = c.Workers
+		opt.QP.LinSys = c.LinSys
 		dm, err := core.DMoptQCPCtx(ctx, golden, model, opt)
 		if err != nil {
 			restore()
@@ -899,6 +952,7 @@ func (c *Context) Fig10ProfilesCtx(ctx context.Context, design string) (map[stri
 	opt := core.DefaultOptions()
 	opt.G = gridsFor(design, c.Scale)[0]
 	opt.Workers = c.Workers
+	opt.QP.LinSys = c.LinSys
 	opt.STA.Workers = c.Workers
 	k := c.K
 	maxStates := 60 * k

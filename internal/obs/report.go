@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/exec"
 	"runtime"
 	"runtime/debug"
 	"strings"
@@ -30,36 +31,44 @@ type Report struct {
 	TopK      int     `json:"top_k,omitempty"`
 	Workers   int     `json:"workers"`
 	WallNS    int64   `json:"wall_ns"`
+	// LinSys records the ADMM linear-system backend the run selected
+	// ("auto", "cg" or "ldlt"); set by the caller after Report().
+	LinSys string `json:"linsys,omitempty"`
 	Snapshot
 }
 
 // GitRev returns the VCS revision baked into the binary by the Go
-// toolchain, suffixed with "+dirty" for modified trees, or "unknown"
-// when build info is absent (e.g. `go test` binaries).
+// toolchain, suffixed with "+dirty" for modified trees.  Binaries built
+// without a VCS stamp (`go test`, `go run` from a subdirectory) fall
+// back to asking git at report time; "unknown" only when both fail.
 func GitRev() string {
 	bi, ok := debug.ReadBuildInfo()
-	if !ok {
-		return "unknown"
-	}
-	rev, dirty := "", false
-	for _, s := range bi.Settings {
-		switch s.Key {
-		case "vcs.revision":
-			rev = s.Value
-		case "vcs.modified":
-			dirty = s.Value == "true"
+	if ok {
+		rev, dirty := "", false
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				dirty = s.Value == "true"
+			}
+		}
+		if rev != "" {
+			if len(rev) > 12 {
+				rev = rev[:12]
+			}
+			if dirty {
+				rev += "+dirty"
+			}
+			return rev
 		}
 	}
-	if rev == "" {
-		return "unknown"
+	if out, err := exec.Command("git", "rev-parse", "--short=12", "HEAD").Output(); err == nil {
+		if rev := strings.TrimSpace(string(out)); rev != "" {
+			return rev
+		}
 	}
-	if len(rev) > 12 {
-		rev = rev[:12]
-	}
-	if dirty {
-		rev += "+dirty"
-	}
-	return rev
+	return "unknown"
 }
 
 // Report assembles the JSON document from the recorder state.  The

@@ -1,0 +1,183 @@
+// Linear-system backends for the ADMM x-step.  Every iteration solves
+//
+//	(P + σI + ρAᵀA) x̃ = σx − q + Aᵀ(ρz − y)
+//
+// against the same matrix K until ρ adapts or constraint rows are
+// appended.  Two interchangeable backends exist:
+//
+//   - cgBackend: the original Jacobi-preconditioned conjugate-gradient
+//     loop — matrix-free, O(nnz) per iteration, worker-parallel
+//     mat-vecs, robust for any fill;
+//   - ldltBackend: a cached sparse LDLᵀ factor of K — factor once per
+//     ρ, then every x-step is two triangular solves, no inner loop.
+//
+// Settings.LinSys selects a backend; the Auto default measures the
+// symbolic fill estimate and picks LDLᵀ when the factor stays sparse
+// (the dose-map QPs: banded grid Laplacian plus short cut rows), CG
+// otherwise.  A numeric breakdown in LDLᵀ (zero pivot) falls back to
+// CG for the remainder of the solver's life.
+package qp
+
+import "fmt"
+
+// LinSys selects the ADMM x-step linear-system backend.
+type LinSys int
+
+const (
+	// LinSysAuto picks LDLᵀ when the symbolic fill estimate is below
+	// autoFillLimit, CG otherwise.
+	LinSysAuto LinSys = iota
+	// LinSysCG forces the preconditioned conjugate-gradient backend.
+	LinSysCG
+	// LinSysLDLT forces the cached sparse LDLᵀ backend.
+	LinSysLDLT
+)
+
+func (l LinSys) String() string {
+	switch l {
+	case LinSysAuto:
+		return "auto"
+	case LinSysCG:
+		return "cg"
+	case LinSysLDLT:
+		return "ldlt"
+	}
+	return fmt.Sprintf("linsys(%d)", int(l))
+}
+
+// ParseLinSys parses a -linsys flag value.
+func ParseLinSys(s string) (LinSys, error) {
+	switch s {
+	case "", "auto":
+		return LinSysAuto, nil
+	case "cg":
+		return LinSysCG, nil
+	case "ldlt":
+		return LinSysLDLT, nil
+	}
+	return LinSysAuto, fmt.Errorf("qp: unknown linear-system backend %q (want auto, cg or ldlt)", s)
+}
+
+// autoFillLimit is the Auto-selection threshold: LDLᵀ is chosen when
+// nnz(L) ≤ autoFillLimit × nnz(triu K).  Beyond that the factor's
+// triangular solves cost more than the few CG iterations the warm-
+// started ADMM x-step typically needs.
+const autoFillLimit = 20
+
+// linsys is the x-step solver contract.  Implementations live inside
+// one Solver and work on its scaled data.
+type linsys interface {
+	// solve overwrites x with (an approximation of) K⁻¹b for the
+	// current s.rho, starting from the initial guess already in x
+	// (iterative backends) and stopping at tol.  It returns the inner
+	// iteration count (0 for direct backends).
+	solve(x, b []float64, tol float64) (int, error)
+	// appendRows re-syncs the backend after rows were appended to s.a.
+	appendRows(fromRow int)
+	// kind names the backend for telemetry.
+	kind() LinSys
+}
+
+// --- CG backend -----------------------------------------------------------
+
+// cgBackend wraps the historical preconditioned CG loop.  The Jacobi
+// preconditioner is rebuilt into solver scratch whenever ρ moved.
+type cgBackend struct {
+	s       *Solver
+	precond []float64
+	rho     float64 // ρ the preconditioner was built for (NaN-safe: 0 = never)
+	fresh   bool
+}
+
+func newCGBackend(s *Solver) *cgBackend {
+	return &cgBackend{s: s, precond: make([]float64, s.n)}
+}
+
+func (b *cgBackend) solve(x, bvec []float64, tol float64) (int, error) {
+	s := b.s
+	if !b.fresh || b.rho != s.rho {
+		for j := 0; j < s.n; j++ {
+			b.precond[j] = 1 / (s.diagP[j] + s.set.Sigma + s.rho*s.diagTA[j])
+		}
+		b.rho = s.rho
+		b.fresh = true
+	}
+	return s.cg(x, bvec, tol, b.precond), nil
+}
+
+func (b *cgBackend) appendRows(int) {
+	// diagTA already carries the appended rows; just force a
+	// preconditioner rebuild.
+	b.fresh = false
+}
+
+func (b *cgBackend) kind() LinSys { return LinSysCG }
+
+// --- LDLᵀ backend ---------------------------------------------------------
+
+// ldltBackend caches one sparse factor of K, re-running the numeric
+// phase only when ρ moved or rows were appended since the last factor.
+type ldltBackend struct {
+	s        *Solver
+	f        *ldltFactor
+	rho      float64
+	factored bool
+}
+
+func newLDLTBackend(s *Solver, f *ldltFactor) *ldltBackend {
+	return &ldltBackend{s: s, f: f}
+}
+
+func (b *ldltBackend) solve(x, bvec []float64, _ float64) (int, error) {
+	s := b.s
+	if !b.factored || b.rho != s.rho {
+		if err := b.f.Refactor(s.rho); err != nil {
+			return 0, err
+		}
+		if b.factored {
+			s.nRefactor++
+		} else {
+			s.nFactor++
+		}
+		b.rho = s.rho
+		b.factored = true
+	}
+	b.f.Solve(x, bvec)
+	s.nTriSolve++
+	return 0, nil
+}
+
+func (b *ldltBackend) appendRows(fromRow int) {
+	b.f.AppendRows(b.s.a, fromRow)
+	b.factored = false
+}
+
+func (b *ldltBackend) kind() LinSys { return LinSysLDLT }
+
+// initLinsys chooses and constructs the backend after the scaled
+// problem data is final.  Auto runs the symbolic analysis either way
+// (it is cheap — pattern merge plus an elimination-tree pass) and keeps
+// the factor only when the fill estimate clears the threshold.
+func (s *Solver) initLinsys() {
+	switch s.set.LinSys {
+	case LinSysCG:
+		s.lin = newCGBackend(s)
+		return
+	case LinSysLDLT:
+		s.lin = newLDLTBackend(s, newLDLTFactor(s.p, s.set.Sigma, s.a, s.n))
+		return
+	}
+	f := newLDLTFactor(s.p, s.set.Sigma, s.a, s.n)
+	if f.NNZL() <= autoFillLimit*f.NNZK() {
+		s.lin = newLDLTBackend(s, f)
+		return
+	}
+	s.lin = newCGBackend(s)
+}
+
+// fallbackToCG permanently switches a solver whose LDLᵀ factor broke
+// down (zero pivot on a numerically semidefinite K) to the CG backend.
+func (s *Solver) fallbackToCG() {
+	s.lin = newCGBackend(s)
+	s.linFallbacks++
+}

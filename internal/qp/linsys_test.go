@@ -1,0 +1,212 @@
+package qp
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// tightSettings returns the property-test solver configuration with a
+// forced linear-system backend.
+func tightSettings(ls LinSys) Settings {
+	set := DefaultSettings()
+	set.EpsAbs, set.EpsRel = 1e-9, 1e-9
+	set.MaxIter = 200000
+	set.CGTol = 1e-12
+	set.LinSys = ls
+	return set
+}
+
+func TestParseLinSys(t *testing.T) {
+	cases := []struct {
+		in   string
+		want LinSys
+	}{{"", LinSysAuto}, {"auto", LinSysAuto}, {"cg", LinSysCG}, {"ldlt", LinSysLDLT}}
+	for _, c := range cases {
+		got, err := ParseLinSys(c.in)
+		if err != nil || got != c.want {
+			t.Errorf("ParseLinSys(%q) = %v, %v; want %v", c.in, got, err, c.want)
+		}
+		if s := got.String(); s == "" {
+			t.Errorf("LinSys(%d).String() empty", int(got))
+		}
+	}
+	if _, err := ParseLinSys("cholmod"); err == nil {
+		t.Error("ParseLinSys accepted an unknown backend")
+	}
+}
+
+// TestBackendEquivalenceProperty runs the randomized PSD instances
+// through both backends and demands tolerance-identical optima: same
+// status, ‖x_cg − x_ldlt‖∞ ≤ 1e-6, and a first-order certificate
+// (KKT stationarity and feasibility ≤ 1e-6) from each.
+func TestBackendEquivalenceProperty(t *testing.T) {
+	for seed := int64(0); seed < 24; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		prob := randomFeasibleQP(rng)
+
+		solve := func(ls LinSys) *Result {
+			s, err := NewSolver(prob, tightSettings(ls))
+			if err != nil {
+				t.Fatalf("seed %d %v: %v", seed, ls, err)
+			}
+			if got := s.Backend(); got != ls {
+				t.Fatalf("seed %d: forced backend %v but solver picked %v", seed, ls, got)
+			}
+			res, err := s.SolveCtx(context.Background())
+			if err != nil {
+				t.Fatalf("seed %d %v: %v", seed, ls, err)
+			}
+			return res
+		}
+		rcg := solve(LinSysCG)
+		rld := solve(LinSysLDLT)
+
+		if rcg.Status != rld.Status {
+			t.Fatalf("seed %d: status cg=%v ldlt=%v", seed, rcg.Status, rld.Status)
+		}
+		diff := 0.0
+		for j := range rcg.X {
+			if d := math.Abs(rcg.X[j] - rld.X[j]); d > diff {
+				diff = d
+			}
+		}
+		if diff > 1e-6 {
+			t.Errorf("seed %d: ‖x_cg − x_ldlt‖∞ = %g > 1e-6", seed, diff)
+		}
+		for _, r := range []*Result{rcg, rld} {
+			if v := prob.MaxViolation(r.X); v > 1e-6 {
+				t.Errorf("seed %d: violation %g > 1e-6", seed, v)
+			}
+			if g := kktStationarity(prob, r.X, r.Y); g > 1e-6 {
+				t.Errorf("seed %d: KKT stationarity %g > 1e-6", seed, g)
+			}
+		}
+	}
+}
+
+// csrRows extracts rows [lo, hi) of a as a fresh CSR.
+func csrRows(a *CSR, lo, hi int) *CSR {
+	tr := NewTriplet(hi-lo, a.N)
+	for r := lo; r < hi; r++ {
+		for k := a.RowPtr[r]; k < a.RowPtr[r+1]; k++ {
+			tr.Add(r-lo, a.Col[k], a.Val[k])
+		}
+	}
+	return tr.Compile()
+}
+
+// TestLDLTAppendMatchesColdFactor appends constraint rows to a live
+// factor and checks the refactorized solve against a cold factor of the
+// full matrix, plus a direct residual check against K itself.
+func TestLDLTAppendMatchesColdFactor(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(100 + seed))
+		prob := randomFeasibleQP(rng)
+		n := prob.A.N
+		m := prob.A.M
+		split := m - 1 - rng.Intn(3)
+		a1 := csrRows(prob.A, 0, split)
+		const sigma, rho = 1e-6, 0.34
+
+		f := newLDLTFactor(prob.P, sigma, a1, n)
+		f.AppendRows(prob.A, split)
+		if err := f.Refactor(rho); err != nil {
+			t.Fatalf("seed %d: append refactor: %v", seed, err)
+		}
+		cold := newLDLTFactor(prob.P, sigma, prob.A, n)
+		if err := cold.Refactor(rho); err != nil {
+			t.Fatalf("seed %d: cold refactor: %v", seed, err)
+		}
+		// The two factors use different permutations (the merged one keeps
+		// the subset-derived RCM order), so nnz(L) may differ; the solves
+		// below must still agree exactly on the same K.
+
+		b := make([]float64, n)
+		for j := range b {
+			b[j] = rng.NormFloat64()
+		}
+		x1 := make([]float64, n)
+		x2 := make([]float64, n)
+		f.Solve(x1, b)
+		cold.Solve(x2, b)
+		for j := range x1 {
+			if d := math.Abs(x1[j] - x2[j]); d > 1e-9*(1+math.Abs(x2[j])) {
+				t.Fatalf("seed %d: appended vs cold solve differ at %d: %g vs %g", seed, j, x1[j], x2[j])
+			}
+		}
+
+		// Residual check: K x = (P + σI + ρAᵀA) x must reproduce b.
+		kx := make([]float64, n)
+		prob.P.MulVec(kx, x1)
+		ax := make([]float64, m)
+		prob.A.MulVec(ax, x1)
+		aty := make([]float64, n)
+		prob.A.MulTVec(aty, ax)
+		res := 0.0
+		for j := 0; j < n; j++ {
+			r := kx[j] + sigma*x1[j] + rho*aty[j] - b[j]
+			if math.Abs(r) > res {
+				res = math.Abs(r)
+			}
+		}
+		if res > 1e-8*(1+InfNorm(b)) {
+			t.Errorf("seed %d: ‖Kx − b‖∞ = %g", seed, res)
+		}
+	}
+}
+
+// TestSolverAppendRowsMatchesCold appends rows to a live LDLᵀ-backed
+// solver mid-stream and checks the re-solved optimum against a cold
+// solver built on the full problem.
+func TestSolverAppendRowsMatchesCold(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		rng := rand.New(rand.NewSource(200 + seed))
+		prob := randomFeasibleQP(rng)
+		m := prob.A.M
+		split := m - 1 - rng.Intn(3)
+
+		sub := &Problem{P: prob.P, Q: prob.Q,
+			A: csrRows(prob.A, 0, split),
+			L: prob.L[:split], U: prob.U[:split]}
+		warm, err := NewSolver(sub, tightSettings(LinSysLDLT))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if _, err := warm.SolveCtx(context.Background()); err != nil {
+			t.Fatalf("seed %d: pre-append solve: %v", seed, err)
+		}
+		if err := warm.AppendRows(csrRows(prob.A, split, m), prob.L[split:], prob.U[split:]); err != nil {
+			t.Fatalf("seed %d: AppendRows: %v", seed, err)
+		}
+		rw, err := warm.SolveCtx(context.Background())
+		if err != nil {
+			t.Fatalf("seed %d: post-append solve: %v", seed, err)
+		}
+
+		cold, err := NewSolver(prob, tightSettings(LinSysLDLT))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		rc, err := cold.SolveCtx(context.Background())
+		if err != nil {
+			t.Fatalf("seed %d: cold solve: %v", seed, err)
+		}
+		if rw.Status != rc.Status {
+			t.Fatalf("seed %d: status warm=%v cold=%v", seed, rw.Status, rc.Status)
+		}
+		for j := range rw.X {
+			if d := math.Abs(rw.X[j] - rc.X[j]); d > 1e-5 {
+				t.Errorf("seed %d: x[%d] warm %g vs cold %g (Δ %g)", seed, j, rw.X[j], rc.X[j], d)
+				break
+			}
+		}
+		if v := prob.MaxViolation(rw.X); v > 1e-6 {
+			t.Errorf("seed %d: post-append violation %g > 1e-6", seed, v)
+		}
+		if g := kktStationarity(prob, rw.X, rw.Y); g > 1e-6 {
+			t.Errorf("seed %d: post-append KKT %g > 1e-6", seed, g)
+		}
+	}
+}

@@ -125,6 +125,11 @@ type Settings struct {
 	CGMaxIter   int
 	// TimeLimitIter aborts CG-heavy stalls; 0 means no extra bound.
 	EpsInfeas float64
+	// LinSys selects the x-step linear-system backend: the cached
+	// sparse LDLᵀ factorization or the preconditioned CG loop.  The
+	// zero value (Auto) picks LDLᵀ when the symbolic fill estimate is
+	// low and CG otherwise; see linsys.go.
+	LinSys LinSys
 	// Workers bounds the fan-out of the CSR mat-vec and dot-product
 	// kernels inside CG.  Zero selects runtime.GOMAXPROCS(0).  All
 	// reductions use a fixed block order, so the solve trajectory is
@@ -192,7 +197,25 @@ type Solver struct {
 	rhs, tmp                  []float64
 	cgR, cgZ, cgP, cgAp, cgAx []float64
 
+	// Reusable scratch for the per-check residual evaluation, the
+	// infeasibility certificate, and the unscaled Objective /
+	// MaxViolation helpers, so per-probe signoff checks stop churning
+	// the garbage collector.
+	resAx, resPx, resAty []float64
+	dyAcc                []float64
+	objPx                []float64
+	vioAx                []float64
+
 	rho float64
+
+	// lin is the x-step linear-system backend (LDLᵀ or CG); the
+	// counters feed the qp/factorizations, qp/refactorizations and
+	// qp/triangular_solves telemetry.
+	lin          linsys
+	nFactor      int64
+	nRefactor    int64
+	nTriSolve    int64
+	linFallbacks int64
 
 	// solves counts completed SolveCtx calls; warmed records an explicit
 	// WarmStart.  Together they classify a solve as warm-started (reusing
@@ -251,7 +274,122 @@ func NewSolver(prob *Problem, set Settings) (*Solver, error) {
 	s.cgP = make([]float64, n)
 	s.cgAp = make([]float64, n)
 	s.cgAx = make([]float64, m)
+	s.resAx = make([]float64, m)
+	s.resPx = make([]float64, n)
+	s.resAty = make([]float64, n)
+	s.dyAcc = make([]float64, m)
+	s.objPx = make([]float64, n)
+	s.vioAx = make([]float64, m)
+	s.initLinsys()
 	return s, nil
+}
+
+// Backend reports which linear-system backend the solver selected
+// (after Auto resolution, and after any runtime fallback to CG).
+func (s *Solver) Backend() LinSys { return s.lin.kind() }
+
+// Objective evaluates ½ xᵀPx + qᵀx of the ORIGINAL (unscaled) problem
+// using solver scratch — the allocation-free twin of
+// Problem.Objective for the hot per-probe signoff path.
+func (s *Solver) Objective(x []float64) float64 {
+	p := s.orig
+	obj := Dot(p.Q, x)
+	if p.P != nil {
+		p.P.MulVec(s.objPx, x)
+		obj += 0.5 * Dot(x, s.objPx)
+	}
+	return obj
+}
+
+// MaxViolation returns the largest original-space constraint violation
+// of x using solver scratch.  Unlike Problem.MaxViolation it also
+// covers rows appended with AppendRows after construction.
+func (s *Solver) MaxViolation(x []float64) float64 {
+	if s.m == 0 {
+		return 0
+	}
+	// Evaluate in scaled space and unscale per row: scaled row i is
+	// e_i·(row of A)·D, so violation against the scaled bounds divides
+	// by e_i to recover original units.
+	for j := 0; j < s.n; j++ {
+		s.objPx[j] = x[j] / s.d[j]
+	}
+	s.a.MulVec(s.vioAx, s.objPx)
+	v := 0.0
+	for i := 0; i < s.m; i++ {
+		ei := 1 / s.e[i]
+		if dlt := (s.l[i] - s.vioAx[i]) * ei; dlt > v {
+			v = dlt
+		}
+		if dlt := (s.vioAx[i] - s.u[i]) * ei; dlt > v {
+			v = dlt
+		}
+	}
+	return v
+}
+
+// AppendRows appends constraint rows (unscaled, with bounds l ≤ a·x ≤ u)
+// to the solver in place: no re-equilibration, no symbolic
+// factorization from scratch.  Columns are scaled by the existing
+// equilibration; the new rows receive one-shot row scalings.  Appended
+// duals start at zero, matching the zero-padded warm start the cut
+// engine previously obtained from a full rebuild.  The LDLᵀ backend
+// extends its pattern in place and refactors on the next solve.
+func (s *Solver) AppendRows(a *CSR, l, u []float64) error {
+	if a == nil || a.M == 0 {
+		return nil
+	}
+	if a.N != s.n {
+		return fmt.Errorf("qp: appended rows have %d columns, want %d", a.N, s.n)
+	}
+	if len(l) != a.M || len(u) != a.M {
+		return fmt.Errorf("qp: appended bounds length %d/%d, want %d", len(l), len(u), a.M)
+	}
+	for i := range l {
+		if l[i] > u[i] {
+			return fmt.Errorf("qp: appended constraint %d has l > u", i)
+		}
+	}
+	scaled := a.Clone()
+	scaled.ScaleCols(s.d)
+	eNew := scaled.RowInfNorms()
+	for i := range eNew {
+		eNew[i] = invSqrtSafe(eNew[i])
+	}
+	scaled.ScaleRows(eNew)
+
+	mOld := s.m
+	s.a = ConcatRows(s.a, scaled)
+	s.m = s.a.M
+	for k, col := range scaled.Col {
+		s.diagTA[col] += scaled.Val[k] * scaled.Val[k]
+	}
+	s.e = append(s.e, eNew...)
+	for i := 0; i < a.M; i++ {
+		s.l = append(s.l, l[i]*eNew[i])
+		s.u = append(s.u, u[i]*eNew[i])
+	}
+	grow := func(v []float64) []float64 { return append(v, make([]float64, a.M)...) }
+	s.y = grow(s.y)
+	s.z = grow(s.z)
+	s.zt = grow(s.zt)
+	s.tmp = grow(s.tmp)
+	s.cgAx = grow(s.cgAx)
+	s.resAx = grow(s.resAx)
+	s.dyAcc = grow(s.dyAcc)
+	s.vioAx = grow(s.vioAx)
+	// Anchor the splitting variable of the new rows at their current
+	// constraint value so the first residual check is not dominated by
+	// a z = 0 artifact.
+	for i := mOld; i < s.m; i++ {
+		sum := 0.0
+		for k := s.a.RowPtr[i]; k < s.a.RowPtr[i+1]; k++ {
+			sum += s.a.Val[k] * s.x[s.a.Col[k]]
+		}
+		s.z[i] = sum
+	}
+	s.lin.appendRows(mOld)
+	return nil
 }
 
 func diagOf(p *CSR, n int) []float64 {
@@ -412,7 +550,11 @@ func (s *Solver) SolveCtx(ctx context.Context) (*Result, error) {
 	workers := par.Workers(set.Workers)
 	res := &Result{Status: MaxIterations, RhoFinal: s.rho}
 
-	dyAcc := make([]float64, m) // accumulated δy for infeasibility cert
+	dyAcc := s.dyAcc // accumulated δy for infeasibility cert
+	for i := range dyAcc {
+		dyAcc[i] = 0
+	}
+	factor0, refactor0, trisolve0, fallback0 := s.nFactor, s.nRefactor, s.nTriSolve, s.linFallbacks
 	var lastPrim, lastDual float64
 	var cause error
 
@@ -450,8 +592,16 @@ func (s *Solver) SolveCtx(ctx context.Context) (*Result, error) {
 				cgTol = 1e-3
 			}
 		}
-		copy(s.xt, s.x) // warm start CG from current x
-		res.CGIters += s.cg(s.xt, s.rhs, cgTol)
+		copy(s.xt, s.x) // warm start (iterative backends) from current x
+		iters, lerr := s.lin.solve(s.xt, s.rhs, cgTol)
+		if lerr != nil {
+			// LDLᵀ numeric breakdown: fall back to CG for good and
+			// redo this x-step (the iterate is untouched on error).
+			s.fallbackToCG()
+			copy(s.xt, s.x)
+			iters, _ = s.lin.solve(s.xt, s.rhs, cgTol)
+		}
+		res.CGIters += iters
 
 		// z̃ = A x̃
 		s.a.MulVecW(s.zt, s.xt, workers)
@@ -517,7 +667,7 @@ func (s *Solver) SolveCtx(ctx context.Context) (*Result, error) {
 	for i := 0; i < m; i++ {
 		res.Y[i] = s.cinv * s.e[i] * s.y[i]
 	}
-	res.Obj = s.orig.Objective(res.X)
+	res.Obj = s.Objective(res.X)
 	res.RhoFinal = s.rho
 
 	// Telemetry: pure observation after the solve, so it cannot perturb
@@ -530,11 +680,17 @@ func (s *Solver) SolveCtx(ctx context.Context) (*Result, error) {
 		rec.Add("qp/iterations", int64(res.Iters))
 		rec.Add("qp/cg_iterations", int64(res.CGIters))
 		rec.Add("qp/restarts", int64(res.Restarts))
+		rec.Add("qp/factorizations", s.nFactor-factor0)
+		rec.Add("qp/refactorizations", s.nRefactor-refactor0)
+		rec.Add("qp/triangular_solves", s.nTriSolve-trisolve0)
+		rec.Add("qp/linsys_fallbacks", s.linFallbacks-fallback0)
+		rec.Add("qp/linsys_"+s.lin.kind().String()+"_solves", 1)
 		if warm {
 			rec.Add("qp/warm_start_hits", 1)
 		}
 		rec.Set("qp/prim_res", res.PrimRes)
 		rec.Set("qp/dual_res", res.DualRes)
+		rec.Set("qp/linsys_backend", float64(s.lin.kind()))
 	}
 	return res, cause
 }
@@ -543,7 +699,7 @@ func (s *Solver) SolveCtx(ctx context.Context) (*Result, error) {
 func (s *Solver) residuals() (prim, dual, epsP, epsD float64) {
 	n, m := s.n, s.m
 	// Unscaled primal residual: ‖E⁻¹(Ax̄ − z̄)‖∞ with per-row unscaling.
-	ax := make([]float64, m)
+	ax := s.resAx
 	s.a.MulVec(ax, s.x)
 	var normAx, normZ float64
 	for i := 0; i < m; i++ {
@@ -560,11 +716,15 @@ func (s *Solver) residuals() (prim, dual, epsP, epsD float64) {
 		}
 	}
 	// Unscaled dual residual: ‖c⁻¹D⁻¹(P̄x̄ + q̄ + Āᵀȳ)‖∞.
-	px := make([]float64, n)
+	px := s.resPx
 	if s.p != nil {
 		s.p.MulVec(px, s.x)
+	} else {
+		for j := range px {
+			px[j] = 0
+		}
 	}
-	aty := make([]float64, n)
+	aty := s.resAty
 	s.a.MulTVec(aty, s.y)
 	var normPx, normATy, normQ float64
 	for j := 0; j < n; j++ {
@@ -596,7 +756,7 @@ func (s *Solver) primalInfeasible(dy []float64) bool {
 		return false
 	}
 	eps := s.set.EpsInfeas * normDy
-	aty := make([]float64, s.n)
+	aty := s.resAty
 	s.a.MulTVec(aty, dy)
 	// Unscale: columns j carry d[j]; certificate needs ‖D⁻¹?‖... we work
 	// in scaled space consistently: both thresholds use scaled norms.
@@ -638,15 +798,13 @@ func (s *Solver) adaptRho(prim, dual, epsP, epsD float64) {
 }
 
 // cg solves (P + σI + ρAᵀA) x = b by preconditioned conjugate gradients,
-// starting from the value already in x.  It returns the iteration count.
-func (s *Solver) cg(x, b []float64, tol float64) int {
+// starting from the value already in x.  The Jacobi preconditioner is
+// supplied by the backend (rebuilt only when ρ moves).  It returns the
+// iteration count.
+func (s *Solver) cg(x, b []float64, tol float64, precond []float64) int {
 	n := s.n
 	set := s.set
 	workers := par.Workers(set.Workers)
-	precond := make([]float64, n)
-	for j := 0; j < n; j++ {
-		precond[j] = 1 / (s.diagP[j] + set.Sigma + s.rho*s.diagTA[j])
-	}
 	apply := func(dst, v []float64) {
 		// dst = P v + σ v + ρ Aᵀ(A v).  The mat-vecs are row-partitioned
 		// across workers; the Aᵀ scatter stays serial (deterministic).

@@ -216,6 +216,29 @@ func (c *CSR) Clone() *CSR {
 	return out
 }
 
+// ConcatRows returns a new CSR stacking b's rows below a's.  Both
+// matrices must share the same column count.
+func ConcatRows(a, b *CSR) *CSR {
+	if a.N != b.N {
+		panic("qp: ConcatRows column mismatch")
+	}
+	out := &CSR{M: a.M + b.M, N: a.N,
+		RowPtr: make([]int, a.M+b.M+1),
+		Col:    make([]int, 0, len(a.Col)+len(b.Col)),
+		Val:    make([]float64, 0, len(a.Val)+len(b.Val)),
+	}
+	copy(out.RowPtr, a.RowPtr)
+	out.Col = append(out.Col, a.Col...)
+	out.Val = append(out.Val, a.Val...)
+	off := a.RowPtr[a.M]
+	for r := 0; r < b.M; r++ {
+		out.RowPtr[a.M+r+1] = off + b.RowPtr[r+1]
+	}
+	out.Col = append(out.Col, b.Col...)
+	out.Val = append(out.Val, b.Val...)
+	return out
+}
+
 // Dense expands the matrix into a dense row-major [][]float64, for tests
 // and debugging only.
 func (c *CSR) Dense() [][]float64 {
