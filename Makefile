@@ -18,12 +18,13 @@ vet:
 
 build:
 	$(GO) build ./...
+	$(GO) build ./examples/...
 
 test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/obs/... ./internal/par/... ./internal/sta/... ./internal/expt/...
+	$(GO) test -race ./...
 
 bench:
 	$(GO) test -bench=TableIV -benchtime=1x -run=^$$ .
@@ -36,7 +37,7 @@ bench:
 bench-json:
 	$(GO) test ./internal/core/ -run '^$$' -bench LinSys -benchtime 3x
 	$(GO) build -o tables.bin ./cmd/tables
-	./tables.bin -scale 0.15 -k 2000 -which iv -bench-json BENCH_pr4.json
+	./tables.bin -scale 0.15 -k 2000 -which iv -bench-json BENCH_pr5.json
 	rm -f tables.bin
 
 # 30-second CI smoke of each native fuzz target (corpus + new inputs).

@@ -34,7 +34,7 @@ var (
 
 func harness() *expt.Context {
 	ctxOnce.Do(func() {
-		ctx = expt.NewContext(benchScale(), 1000)
+		ctx = expt.New(expt.WithScale(benchScale()), expt.WithTopK(1000))
 	})
 	return ctx
 }

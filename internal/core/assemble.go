@@ -1,0 +1,225 @@
+// Node-based assembly (MethodNode): the Eq. 5/10 program verbatim, with
+// one arrival variable per timing-relevant gate.  Unlike the cut engine
+// the constraint matrix depends on the pruning threshold (and therefore
+// on τ), so each run assembles its own instance — but it borrows the
+// compiled grid, gate→grid map, objective terms and worst-case pruning
+// arrivals instead of rebuilding them.
+package core
+
+import (
+	"math"
+
+	"repro/internal/dosemap"
+	"repro/internal/netlist"
+	"repro/internal/qp"
+	"repro/internal/tech"
+)
+
+// problem is an assembled node-based DMopt instance ready for
+// (repeated) solving.  It borrows the *Compiled formulation and owns
+// the per-run pruning index, bounds and solver problem.
+type problem struct {
+	c   *Compiled
+	opt Options
+
+	nVar   int   // dose variables + arrival variables
+	arrIdx []int // gate → arrival-variable index, or -1
+
+	qpProb  *qp.Problem
+	l, u    []float64
+	endRows []endRow
+	Rows    int
+}
+
+type endRow struct {
+	row int
+	off float64 // row bound is τ − off
+}
+
+// assemble builds the QP instance.  pruneThresh is the linear-model path
+// delay below which (under the slowest reachable dose) a gate can never
+// constrain the clock period; tau0 initializes the endpoint bounds.
+func assemble(c *Compiled, opt Options, pruneThresh, tau0 float64) (*problem, error) {
+	golden, model := c.Golden, c.Model
+	in := golden.In
+	p := &problem{c: c, opt: opt}
+	nG := c.NG
+
+	// Pruning against the compiled worst-case (slowest-dose) arrivals
+	// and suffixes.
+	worstArr, worstSuf := c.worstArr, c.worstSuf
+	n := in.Circ.NumGates()
+	p.arrIdx = make([]int, n)
+	nArr := 0
+	base := c.NVar
+	for id, g := range in.Circ.Gates {
+		p.arrIdx[id] = -1
+		if g.Kind != netlist.Comb && g.Kind != netlist.Seq {
+			continue
+		}
+		if math.IsInf(worstSuf[id], -1) {
+			continue // dead end: no path to an endpoint
+		}
+		if worstArr[id]+worstSuf[id] >= pruneThresh {
+			p.arrIdx[id] = base + nArr
+			nArr++
+		}
+	}
+	p.nVar = base + nArr
+
+	ds := tech.DoseSensitivity
+
+	// Objective: the compiled dose terms widened with zero-cost arrival
+	// variables.
+	pd := make([]float64, p.nVar) // diagonal of P
+	q := make([]float64, p.nVar)
+	copy(pd, c.dosePD)
+	copy(q, c.doseQ)
+	ptr := qp.NewTriplet(p.nVar, p.nVar)
+	for j, v := range pd {
+		if v != 0 {
+			ptr.Add(j, j, v)
+		}
+	}
+
+	// Constraints: collect entries first (the row count is only known at
+	// the end), then compile into CSR.
+	type entry struct {
+		r, c int
+		v    float64
+	}
+	var entries []entry
+	var l, u []float64
+	row := 0
+	addRow := func(lo, hi float64) int {
+		l = append(l, lo)
+		u = append(u, hi)
+		r := row
+		row++
+		return r
+	}
+	add := func(r, c int, v float64) { entries = append(entries, entry{r, c, v}) }
+	inf := math.Inf(1)
+
+	nLayers := 1
+	if opt.BothLayers {
+		nLayers = 2
+	}
+	// Box (Eq. 3/8).
+	for layer := 0; layer < nLayers; layer++ {
+		for g := 0; g < nG; g++ {
+			r := addRow(opt.DoseLo, opt.DoseHi)
+			add(r, layer*nG+g, 1)
+		}
+	}
+	// Smoothness (Eq. 4/9): right, down, and down-right diagonal pairs.
+	grid := c.Grid
+	for layer := 0; layer < nLayers; layer++ {
+		off := layer * nG
+		for i := 0; i < grid.M; i++ {
+			for j := 0; j < grid.N; j++ {
+				a := grid.Flat(i, j)
+				pairs := [][2]int{}
+				if j+1 < grid.N {
+					pairs = append(pairs, [2]int{a, grid.Flat(i, j+1)})
+				}
+				if i+1 < grid.M {
+					pairs = append(pairs, [2]int{a, grid.Flat(i+1, j)})
+				}
+				if i+1 < grid.M && j+1 < grid.N {
+					pairs = append(pairs, [2]int{a, grid.Flat(i+1, j+1)})
+				}
+				for _, pr := range pairs {
+					r := addRow(-opt.Delta, opt.Delta)
+					add(r, off+pr[0], 1)
+					add(r, off+pr[1], -1)
+				}
+			}
+		}
+	}
+	// Timing (Eq. 5/10).
+	for id, g := range in.Circ.Gates {
+		ai := p.arrIdx[id]
+		if ai < 0 {
+			continue
+		}
+		gidx := c.gridOf[id]
+		switch g.Kind {
+		case netlist.Seq:
+			// Launch: a_s ≥ clk2q_nom + A·Ds·dP (+ B·Ds·dA).
+			r := addRow(golden.AOut[id], inf)
+			add(r, ai, 1)
+			add(r, gidx, -model.A[id]*ds)
+			if opt.BothLayers {
+				add(r, nG+gidx, -model.B[id]*ds)
+			}
+		case netlist.Comb:
+			for _, fi := range g.Fanins {
+				arc := golden.ArcDelay(fi, id)
+				r := addRow(0, inf) // filled below
+				add(r, ai, 1)
+				add(r, gidx, -model.A[id]*ds)
+				if opt.BothLayers {
+					add(r, nG+gidx, -model.B[id]*ds)
+				}
+				if fj := p.arrIdx[fi]; fj >= 0 {
+					add(r, fj, -1)
+					l[r] = arc
+				} else {
+					// Excluded driver: conservative constant arrival.
+					l[r] = arc + worstArr[fi]
+				}
+			}
+		}
+	}
+	// Endpoint rows: a_r ≤ τ − wire − endWeight for every endpoint fanin.
+	for id, g := range in.Circ.Gates {
+		if g.Kind != netlist.PO && g.Kind != netlist.Seq {
+			continue
+		}
+		for _, fi := range g.Fanins {
+			fj := p.arrIdx[fi]
+			if fj < 0 {
+				continue // pruned: cannot reach τ by construction
+			}
+			off := golden.ArcDelay(fi, id) + golden.EndWeight(id)
+			r := addRow(-inf, tau0-off)
+			add(r, fj, 1)
+			p.endRows = append(p.endRows, endRow{row: r, off: off})
+		}
+	}
+
+	tr := qp.NewTriplet(row, p.nVar)
+	for _, e := range entries {
+		tr.Add(e.r, e.c, e.v)
+	}
+	p.qpProb = &qp.Problem{P: ptr.Compile(), Q: q, A: tr.Compile(), L: l, U: u}
+	p.l, p.u = l, u
+	p.Rows = row
+	return p, nil
+}
+
+// setBoundsTau rewrites the endpoint-row upper bounds for a new clock
+// period probe and pushes them into the warm solver.
+func (p *problem) setBoundsTau(s *qp.Solver, tau float64) error {
+	for _, er := range p.endRows {
+		p.u[er.row] = tau - er.off
+	}
+	return s.UpdateBounds(p.l, p.u)
+}
+
+// extract converts a QP solution into legalized dose maps.
+func (p *problem) extract(x []float64) dosemap.Layers {
+	c := p.c
+	poly := dosemap.NewMap(c.Grid)
+	copy(poly.D, x[:c.NG])
+	poly.Legalize(p.opt.DoseLo, p.opt.DoseHi, p.opt.Delta, 50)
+	layers := dosemap.Layers{Poly: poly}
+	if p.opt.BothLayers {
+		act := dosemap.NewMap(c.Grid)
+		copy(act.D, x[c.NG:2*c.NG])
+		act.Legalize(p.opt.DoseLo, p.opt.DoseHi, p.opt.Delta, 50)
+		layers.Active = act
+	}
+	return layers
+}

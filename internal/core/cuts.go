@@ -1,3 +1,21 @@
+// Cutting-plane solve stage: the default engine for both DMopt
+// formulations.  It solves the identical mathematical program as the
+// node-based assembly (Eqs. 2-12) but represents the timing constraints
+// by path cuts generated on demand:
+//
+//	nom(π) + Σ_{p∈π} (A_p·Ds·dP_{g(p)} + B_p·Ds·dA_{g(p)}) ≤ τ
+//
+// for each path π whose linear-model delay exceeds τ at the current
+// dose iterate.  Arrival-time variables — which carry no objective
+// curvature and slow the first-order QP solver badly — disappear; the
+// QP retains only dose variables with strictly convex leakage cost.
+// Cuts are valid for every clock-period probe, so the QCP bisection
+// shares one growing pool.
+//
+// A cutSolver borrows the immutable *Compiled formulation (fixed
+// box/smoothness rows, objective terms, grid maps) and owns the per-run
+// mutable state: the cut pool, the warm-start iterate, and the
+// persistent qp.Solver.
 package core
 
 import (
@@ -15,20 +33,6 @@ import (
 	"repro/internal/sta"
 	"repro/internal/tech"
 )
-
-// The cutting-plane solver is the default engine for both DMopt
-// formulations.  It solves the identical mathematical program as the
-// node-based assembly (Eqs. 2-12) but represents the timing constraints
-// by path cuts generated on demand:
-//
-//	nom(π) + Σ_{p∈π} (A_p·Ds·dP_{g(p)} + B_p·Ds·dA_{g(p)}) ≤ τ
-//
-// for each path π whose linear-model delay exceeds τ at the current
-// dose iterate.  Arrival-time variables — which carry no objective
-// curvature and slow the first-order QP solver badly — disappear; the
-// QP retains only dose variables with strictly convex leakage cost.
-// Cuts are valid for every clock-period probe, so the QCP bisection
-// shares one growing pool.
 
 // cut is one path constraint over the dose variables.
 type cut struct {
@@ -76,16 +80,16 @@ func (p *cutPool) size() int {
 }
 
 type cutSolver struct {
-	golden *sta.Result
-	model  *Model
-	opt    Options
-	grid   dosemap.Grid
-	gridOf []int
-	order  []int
-	nG     int
-	nVar   int
+	comp *Compiled
+	opt  Options
 
-	pd, q []float64 // objective
+	nG   int
+	nVar int
+
+	// pd is the cutSolver's own copy of the compiled objective diagonal
+	// (tests perturb it in place to build degenerate instances); q is the
+	// shared compiled linear term, read-only by convention.
+	pd, q []float64
 	pool  *cutPool
 	x     []float64 // warm-start iterate
 
@@ -172,18 +176,17 @@ func (cs *cutSolver) ensure(tau float64, cuts []cut) error {
 		// carry-over the rebuild path used to reconstruct.
 		cs.rec.Add("core/solver_row_appends", 1)
 		newCuts := cuts[cs.builtCuts:]
-		tr := qp.NewTriplet(len(newCuts), cs.nVar)
 		inf := math.Inf(1)
 		l := make([]float64, len(newCuts))
 		u := make([]float64, len(newCuts))
+		cols := make([][]int, len(newCuts))
+		vals := make([][]float64, len(newCuts))
 		for i, c := range newCuts {
-			for k := range c.cols {
-				tr.Add(i, c.cols[k], c.vals[k])
-			}
+			cols[i], vals[i] = c.cols, c.vals
 			l[i] = -inf
 			u[i] = tau - c.nom
 		}
-		newA := tr.Compile()
+		newA := qp.CSRFromRows(cs.nVar, cols, vals)
 		if err := cs.solver.AppendRows(newA, l, u); err != nil {
 			return err
 		}
@@ -229,75 +232,44 @@ func (cs *cutSolver) saveDuals(y []float64) {
 	cs.y = append(cs.y[:0], y...)
 }
 
-func newCutSolver(golden *sta.Result, model *Model, opt Options) (*cutSolver, error) {
-	in := golden.In
-	grid, err := dosemap.NewGrid(in.Pl.ChipW, in.Pl.ChipH, opt.G)
-	if err != nil {
-		return nil, err
-	}
-	order, err := in.Circ.TopoOrder()
-	if err != nil {
-		return nil, err
-	}
+// newCutSolverCompiled wires a run view onto a shared artifact.  The
+// objective diagonal is copied (the one compiled slice tests may
+// perturb); everything else is borrowed read-only.
+func newCutSolverCompiled(c *Compiled, opt Options) *cutSolver {
 	cs := &cutSolver{
-		golden: golden, model: model, opt: opt, grid: grid,
-		gridOf: gateGrid(in, grid), order: order,
-		nG:   grid.Cells(),
+		comp: c, opt: opt,
+		nG: c.NG, nVar: c.NVar,
+		pd:   append([]float64(nil), c.cutPD...),
+		q:    c.doseQ,
 		pool: &cutPool{seen: make(map[string]bool)},
 	}
-	cs.nVar = cs.nG
-	if opt.BothLayers {
-		cs.nVar = 2 * cs.nG
-	}
-	cs.pd = make([]float64, cs.nVar)
-	cs.q = make([]float64, cs.nVar)
-	ds := tech.DoseSensitivity
-	for id := range in.Circ.Gates {
-		g := cs.gridOf[id]
-		if g < 0 {
-			continue
-		}
-		cs.pd[g] += 2 * model.Alpha[id] * ds * ds
-		cs.q[g] += model.Beta[id] * ds
-		if opt.BothLayers {
-			cs.q[cs.nG+g] += model.Gamma[id] * ds
-		}
-	}
-	if opt.BothLayers {
-		// The active-layer objective is exactly linear (leakage is linear
-		// in gate width), which leaves those variables without curvature
-		// and slows the first-order QP solver badly.  A tiny quadratic
-		// regularization — three orders below the poly curvature — fixes
-		// conditioning while perturbing the optimum negligibly.
-		reg := 0.0
-		for g := 0; g < cs.nG; g++ {
-			if cs.pd[g] > reg {
-				reg = cs.pd[g]
-			}
-		}
-		reg *= 1e-2
-		if reg <= 0 {
-			reg = 1e-6
-		}
-		for g := 0; g < cs.nG; g++ {
-			cs.pd[cs.nG+g] += reg
-		}
-	}
 	cs.x = make([]float64, cs.nVar)
-	return cs, nil
+	return cs
+}
+
+// newCutSolver compiles the formulation and wires a run view onto it in
+// one step (the historical constructor, kept for direct callers and
+// tests that bypass the cache layer).
+func newCutSolver(golden *sta.Result, model *Model, opt Options) (*cutSolver, error) {
+	c, err := Compile(golden, model, opt.CompileOptions())
+	if err != nil {
+		return nil, err
+	}
+	return newCutSolverCompiled(c, opt), nil
 }
 
 // deltaFn returns the per-gate linear delay delta under dose vector x.
 func (cs *cutSolver) deltaFn(x []float64) func(id int) float64 {
+	c := cs.comp
 	ds := tech.DoseSensitivity
 	return func(id int) float64 {
-		g := cs.gridOf[id]
+		g := c.gridOf[id]
 		if g < 0 {
 			return 0
 		}
-		v := cs.model.A[id] * ds * x[g]
+		v := c.Model.A[id] * ds * x[g]
 		if cs.opt.BothLayers {
-			v += cs.model.B[id] * ds * x[cs.nG+g]
+			v += c.Model.B[id] * ds * x[cs.nG+g]
 		}
 		return v
 	}
@@ -306,22 +278,23 @@ func (cs *cutSolver) deltaFn(x []float64) func(id int) float64 {
 // makeCut converts a path (from the linear-model enumeration at dose x)
 // into a constraint row.
 func (cs *cutSolver) makeCut(p *sta.Path, x []float64) cut {
+	c := cs.comp
 	ds := tech.DoseSensitivity
 	coeff := map[int]float64{}
 	for i, id := range p.Nodes {
-		g := cs.gridOf[id]
+		g := c.gridOf[id]
 		if g < 0 {
 			continue
 		}
-		kind := cs.golden.In.Circ.Gates[id].Kind
+		kind := c.Golden.In.Circ.Gates[id].Kind
 		// Dose affects the cell delay of combinational nodes and the
 		// clock-to-q of the launching register (first node); the
 		// capturing endpoint contributes no dose-dependent delay.
 		isLaunch := i == 0 && kind == netlist.Seq
 		if kind == netlist.Comb || isLaunch {
-			coeff[g] += cs.model.A[id] * ds
+			coeff[g] += c.Model.A[id] * ds
 			if cs.opt.BothLayers {
-				coeff[cs.nG+g] += cs.model.B[id] * ds
+				coeff[cs.nG+g] += c.Model.B[id] * ds
 			}
 		}
 	}
@@ -333,16 +306,16 @@ func (cs *cutSolver) makeCut(p *sta.Path, x []float64) cut {
 		cols = append(cols, col)
 	}
 	sort.Ints(cols)
-	c := cut{}
+	out := cut{}
 	lin := 0.0
 	for _, col := range cols {
 		v := coeff[col]
-		c.cols = append(c.cols, col)
-		c.vals = append(c.vals, v)
+		out.cols = append(out.cols, col)
+		out.vals = append(out.vals, v)
 		lin += v * x[col]
 	}
-	c.nom = p.Delay - lin
-	return c
+	out.nom = p.Delay - lin
+	return out
 }
 
 func (c cut) signature() string {
@@ -355,89 +328,33 @@ func (c cut) signature() string {
 	return s
 }
 
-// buildProblem assembles the current QP: box + smoothness + cuts.
+// buildProblem assembles the current QP: the compiled box/smoothness
+// prefix concatenated with the cut rows.  The prefix CSR is shared (the
+// solver clones its inputs); the objective diagonal is compiled from
+// cs.pd because the run view owns that slice.
 func (cs *cutSolver) buildProblem(tau float64, cuts []cut) *qp.Problem {
-	opt := cs.opt
-	nLayers := 1
-	if opt.BothLayers {
-		nLayers = 2
-	}
+	c := cs.comp
 	ptr := qp.NewTriplet(cs.nVar, cs.nVar)
 	for j, v := range cs.pd {
 		if v != 0 {
 			ptr.Add(j, j, v)
 		}
 	}
-	type entry struct {
-		r, c int
-		v    float64
-	}
-	var entries []entry
-	var l, u []float64
-	row := 0
-	addRow := func(lo, hi float64) int {
-		l = append(l, lo)
-		u = append(u, hi)
-		r := row
-		row++
-		return r
-	}
 	inf := math.Inf(1)
-	for layer := 0; layer < nLayers; layer++ {
-		for g := 0; g < cs.nG; g++ {
-			r := addRow(opt.DoseLo, opt.DoseHi)
-			entries = append(entries, entry{r, layer*cs.nG + g, 1})
-		}
+	nFixed := c.fixedA.M
+	l := make([]float64, nFixed, nFixed+len(cuts))
+	u := make([]float64, nFixed, nFixed+len(cuts))
+	copy(l, c.fixedL)
+	copy(u, c.fixedU)
+	cols := make([][]int, len(cuts))
+	vals := make([][]float64, len(cuts))
+	for i, ct := range cuts {
+		cols[i], vals[i] = ct.cols, ct.vals
+		l = append(l, -inf)
+		u = append(u, tau-ct.nom)
 	}
-	grid := cs.grid
-	for layer := 0; layer < nLayers; layer++ {
-		off := layer * cs.nG
-		for i := 0; i < grid.M; i++ {
-			for j := 0; j < grid.N; j++ {
-				a := grid.Flat(i, j)
-				if j+1 < grid.N {
-					r := addRow(-opt.Delta, opt.Delta)
-					entries = append(entries, entry{r, off + a, 1}, entry{r, off + grid.Flat(i, j+1), -1})
-				}
-				if i+1 < grid.M {
-					r := addRow(-opt.Delta, opt.Delta)
-					entries = append(entries, entry{r, off + a, 1}, entry{r, off + grid.Flat(i+1, j), -1})
-				}
-				if i+1 < grid.M && j+1 < grid.N {
-					r := addRow(-opt.Delta, opt.Delta)
-					entries = append(entries, entry{r, off + a, 1}, entry{r, off + grid.Flat(i+1, j+1), -1})
-				}
-			}
-		}
-	}
-	if opt.Tiled {
-		// Seam smoothness: tiling copies of the field places the last
-		// column/row against the first of the next copy.
-		for layer := 0; layer < nLayers; layer++ {
-			off := layer * cs.nG
-			for i := 0; i < grid.M; i++ {
-				r := addRow(-opt.Delta, opt.Delta)
-				entries = append(entries, entry{r, off + grid.Flat(i, grid.N-1), 1},
-					entry{r, off + grid.Flat(i, 0), -1})
-			}
-			for j := 0; j < grid.N; j++ {
-				r := addRow(-opt.Delta, opt.Delta)
-				entries = append(entries, entry{r, off + grid.Flat(grid.M-1, j), 1},
-					entry{r, off + grid.Flat(0, j), -1})
-			}
-		}
-	}
-	for _, c := range cuts {
-		r := addRow(-inf, tau-c.nom)
-		for i := range c.cols {
-			entries = append(entries, entry{r, c.cols[i], c.vals[i]})
-		}
-	}
-	tr := qp.NewTriplet(row, cs.nVar)
-	for _, e := range entries {
-		tr.Add(e.r, e.c, e.v)
-	}
-	return &qp.Problem{P: ptr.Compile(), Q: cs.q, A: tr.Compile(), L: l, U: u}
+	a := qp.ConcatRows(c.fixedA, qp.CSRFromRows(cs.nVar, cols, vals))
+	return &qp.Problem{P: ptr.Compile(), Q: cs.q, A: a, L: l, U: u}
 }
 
 // solveTau minimizes Δleakage subject to MCT ≤ tau by cut generation,
@@ -450,10 +367,11 @@ func (cs *cutSolver) buildProblem(tau float64, cuts []cut) *qp.Problem {
 // context.Canceled.
 func (cs *cutSolver) solveTau(ctx context.Context, tau, xiNW float64) (obj float64, feasible bool, err error) {
 	cs.rec = obs.From(ctx)
+	c := cs.comp
 	opt := cs.opt
 	tolPs := opt.CutTolPs
 	if tolPs <= 0 {
-		tolPs = 2e-4 * cs.golden.MCT
+		tolPs = 2e-4 * c.Golden.MCT
 	}
 	maxRounds := opt.CutRounds
 	if maxRounds <= 0 {
@@ -519,30 +437,30 @@ func (cs *cutSolver) solveTau(ctx context.Context, tau, xiNW float64) (obj float
 		for j := 0; j < cs.nVar; j++ {
 			cs.x[j] = clamp(cs.x[j], opt.DoseLo, opt.DoseHi)
 		}
-		if o := cs.objective(cs.x); o > xiNW+xiTolerance(cs.golden, xiNW) {
+		if o := cs.objective(cs.x); o > xiNW+xiToleranceLeak(c.nomLeakUW, xiNW) {
 			return o, false, nil
 		}
 		delta := cs.deltaFn(cs.x)
-		_, mct := linearArrivals(cs.golden, delta)
+		_, mct := linearArrivalsOrder(c.Golden, c.order, delta)
 		if mct <= tau+tolPs {
 			return cs.objective(cs.x), true, nil
 		}
 		// Generate violated path cuts.
 		arcFn := func(from, to int) float64 {
-			a := cs.golden.ArcDelay(from, to)
-			if cs.golden.In.Circ.Gates[to].Kind == netlist.Comb {
+			a := c.Golden.ArcDelay(from, to)
+			if c.Golden.In.Circ.Gates[to].Kind == netlist.Comb {
 				a += delta(to)
 			}
 			return a
 		}
 		startFn := func(id int) float64 {
-			s := cs.golden.StartWeight(id)
-			if cs.golden.In.Circ.Gates[id].Kind == netlist.Seq {
+			s := c.Golden.StartWeight(id)
+			if c.Golden.In.Circ.Gates[id].Kind == netlist.Seq {
 				s += delta(id)
 			}
 			return s
 		}
-		paths := sta.TopPathsDAG(cs.golden.In.Circ, cs.order, arcFn, startFn, cs.golden.EndWeight,
+		paths := sta.TopPathsDAG(c.Golden.In.Circ, c.order, arcFn, startFn, c.Golden.EndWeight,
 			perRound, 0)
 		added := 0
 		for _, p := range paths {
@@ -590,12 +508,12 @@ func (cs *cutSolver) layers() dosemap.Layers {
 			m.Legalize(opt.DoseLo, opt.DoseHi, opt.Delta, 50)
 		}
 	}
-	poly := dosemap.NewMap(cs.grid)
+	poly := dosemap.NewMap(cs.comp.Grid)
 	copy(poly.D, cs.x[:cs.nG])
 	legalize(poly)
 	out := dosemap.Layers{Poly: poly}
 	if opt.BothLayers {
-		act := dosemap.NewMap(cs.grid)
+		act := dosemap.NewMap(cs.comp.Grid)
 		copy(act.D, cs.x[cs.nG:2*cs.nG])
 		legalize(act)
 		out.Active = act
@@ -605,13 +523,11 @@ func (cs *cutSolver) layers() dosemap.Layers {
 
 // result packages the current iterate like the node-based path does.
 func (cs *cutSolver) result(ctx context.Context, probes int) (*Result, error) {
+	c := cs.comp
 	layers := cs.layers()
-	// Reuse problem.predict via a light adapter.
-	p := &problem{in: cs.golden.In, opt: cs.opt, model: cs.model, golden: cs.golden,
-		grid: cs.grid, gridOf: cs.gridOf, nG: cs.nG}
-	predMCT, predLeak := p.predict(layers)
-	nominal := Eval{MCTps: cs.golden.MCT, LeakUW: nominalLeak(cs.golden)}
-	gold, err := signoff(ctx, cs.golden, cs.opt, layers)
+	predMCT, predLeak := c.predict(layers)
+	nominal := Eval{MCTps: c.Golden.MCT, LeakUW: c.nomLeakUW}
+	gold, err := signoff(ctx, c.Golden, cs.opt, layers)
 	if err != nil {
 		return nil, err
 	}

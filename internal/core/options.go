@@ -1,0 +1,147 @@
+// Run-request types of the DMopt pipeline: Options parameterize one
+// solve (clock-period target, leakage budget, engine, solver budgets),
+// while the design-invariant subset — grid geometry, dose range,
+// smoothness, layers — is split off by Options.CompileOptions into the
+// compile stage (see compile.go).
+package core
+
+import (
+	"time"
+
+	"repro/internal/dosemap"
+	"repro/internal/qp"
+	"repro/internal/sta"
+)
+
+// Options configures a DMopt run.
+type Options struct {
+	// G is the grid granularity in µm (Section II-B; the paper sweeps
+	// 5, 10, 30 and 50 µm).
+	G float64
+	// Delta is the dose smoothness bound δ in percent (Eq. 4/9).
+	Delta float64
+	// DoseLo, DoseHi are the equipment correction range L, U in percent
+	// (Eq. 3/8; ±5% for DoseMapper).
+	DoseLo, DoseHi float64
+	// BothLayers enables simultaneous poly+active optimization
+	// (Section III-B); otherwise poly-only (Section III-A).
+	BothLayers bool
+	// XiNW is the Δleakage budget ξ in nW for the QCP (Eq. 7/12).
+	XiNW float64
+	// Snap rounds grid doses to the characterized library steps before
+	// golden signoff (footnote 7).
+	Snap bool
+	// Tiled adds seam smoothness constraints between opposite map edges
+	// so the optimized field can be stepped side-by-side across the
+	// wafer (Section II-B: "multiple copies of the dose map solution
+	// are tiled horizontally and vertically").
+	Tiled bool
+	// BisectTol is the relative clock-period tolerance of the QCP
+	// bisection.
+	BisectTol float64
+	// SeedTau warm-brackets the QCP bisection: a clock period (ps) that a
+	// related run — the previous table row or sweep point — found
+	// feasible.  When it falls inside the fresh [lo, hi] interval the
+	// bisection probes a tight bracket around it first instead of
+	// halving from scratch; a stale seed costs at most two probes and
+	// still narrows the interval.  Zero disables the hint.
+	SeedTau float64
+	// MaxProbes bounds the QCP bisection length.
+	MaxProbes int
+	// Method selects the solve engine: the default cutting-plane engine
+	// or the node-based arrival-variable assembly (kept for
+	// cross-validation; slower to converge under ADMM).
+	Method Method
+	// CutRounds, CutsPerRound and CutTolPs tune the cutting-plane engine
+	// (zero values select sensible defaults).
+	CutRounds    int
+	CutsPerRound int
+	CutTolPs     float64
+	// QP tunes the inner solver.
+	QP qp.Settings
+	// STA sets golden-analysis boundary conditions.
+	STA sta.Config
+	// Workers is the one knob that reaches every layer: golden STA
+	// levels, solver reductions, and model fitting all fan out on up to
+	// Workers goroutines.  Zero selects runtime.GOMAXPROCS(0).  Results
+	// are bit-identical for every worker count.
+	Workers int
+	// Speculate lets the QCP bisection run probes concurrently,
+	// sharing the cut pool under a mutex.  Off by default because the
+	// extra probes enrich the pool and thereby change (slightly) the
+	// warm-start trajectory: the result is still a valid optimum but
+	// not bit-identical to the serial bisection.
+	Speculate bool
+}
+
+// normalized propagates the top-level Workers knob into the nested
+// solver and STA configurations (without overriding explicit per-layer
+// settings).
+func (o Options) normalized() Options {
+	if o.QP.Workers == 0 {
+		o.QP.Workers = o.Workers
+	}
+	if o.STA.Workers == 0 {
+		o.STA.Workers = o.Workers
+	}
+	return o
+}
+
+// Method selects the DMopt solve engine.
+type Method int
+
+const (
+	// MethodCuts solves the QP over dose variables with on-demand path
+	// cuts (default).
+	MethodCuts Method = iota
+	// MethodNode solves the full node-based assembly with arrival-time
+	// variables (Eq. 5/10 verbatim).
+	MethodNode
+)
+
+// DefaultOptions returns the paper's main configuration: 5 µm grids,
+// δ = 2, ±5% dose range, poly-only, ξ = 0 (no leakage increase allowed).
+func DefaultOptions() Options {
+	set := qp.DefaultSettings()
+	// The outer cut-generation loop supplies the real convergence test
+	// (model MCT against τ), so the inner ADMM solves run on a modest
+	// budget; this is ~15x faster than solving every QP to 1e-4 with no
+	// measurable change in the optimized dose maps.
+	set.MaxIter = 1500
+	set.EpsAbs, set.EpsRel = 3e-4, 3e-4
+	return Options{
+		G:         5,
+		Delta:     2,
+		DoseLo:    -5,
+		DoseHi:    5,
+		XiNW:      0,
+		Snap:      true,
+		BisectTol: 1e-3,
+		MaxProbes: 24,
+		QP:        set,
+		STA:       sta.DefaultConfig(),
+	}
+}
+
+// Result is the outcome of a DMopt run.
+type Result struct {
+	// Layers holds the optimized dose maps (Active nil for poly-only).
+	Layers dosemap.Layers
+	// PredMCT is the linear-model minimum cycle time under the solution.
+	PredMCT float64
+	// PredDeltaLeakNW is the model Δleakage of the solution (Eq. 2).
+	PredDeltaLeakNW float64
+	// Nominal and Golden are signoff snapshots before and after.
+	Nominal, Golden Eval
+	// Probes counts QCP bisection iterations (1 for the plain QP).
+	Probes int
+	// ArrivalVars is the number of timing-relevant gates given arrival
+	// variables after pruning.
+	ArrivalVars int
+	// Rows and Cols are the assembled constraint-matrix dimensions.
+	Rows, Cols int
+	// Status reports the final solver status.
+	Status string
+	// Runtime is the wall-clock optimization time.
+	Runtime time.Duration
+}

@@ -1,0 +1,250 @@
+// QCP solve stage (Section III-A.2 / III-B.2): minimize the clock
+// period under a leakage budget, by monotone bisection with the QP as
+// the feasibility oracle.  DMoptQCP* compile on demand;
+// DMoptQCPCompiled borrows a shared *Compiled artifact.
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/par"
+	"repro/internal/qp"
+	"repro/internal/sta"
+)
+
+// DMoptQCP solves "Dose Map Optimization for Improved Timing Under
+// Leakage Constraint" (Section III-A.2 / III-B.2): minimize the clock
+// period subject to Δleakage ≤ ξ.  The quadratically constrained program
+// is solved by monotone bisection on the clock period, using the QP as
+// the feasibility oracle: minLeak(τ) is non-increasing in τ, so
+// τ is feasible iff minLeak(τ) ≤ ξ.
+func DMoptQCP(golden *sta.Result, model *Model, opt Options) (*Result, error) {
+	return DMoptQCPCtx(context.Background(), golden, model, opt)
+}
+
+// DMoptQCPCtx is DMoptQCP with cancellation: a canceled context aborts
+// the bisection between probes (and probes between cut rounds / ADMM
+// iterations) with an error that wraps context.Canceled.
+func DMoptQCPCtx(ctx context.Context, golden *sta.Result, model *Model, opt Options) (*Result, error) {
+	c, err := CompileCtx(ctx, golden, model, opt.CompileOptions())
+	if err != nil {
+		return nil, err
+	}
+	return DMoptQCPCompiled(ctx, c, opt)
+}
+
+// DMoptQCPCompiled runs the QCP bisection against a previously compiled
+// artifact.  opt must project onto the artifact's compile key.
+func DMoptQCPCompiled(ctx context.Context, c *Compiled, opt Options) (*Result, error) {
+	start := time.Now()
+	ctx, sp := obs.Start(ctx, "core/qcp")
+	defer sp.End()
+	opt = opt.normalized()
+	if err := c.check(opt); err != nil {
+		return nil, err
+	}
+	golden := c.Golden
+	// Lower bound: linear-model MCT at the fastest reachable dose
+	// (precomputed by the compile stage).
+	tLo := c.fastMCT
+	tHi := golden.MCT
+	if tLo >= tHi {
+		tLo = tHi * 0.8
+	}
+	if opt.Snap {
+		opt.XiNW -= c.snapMarginNW
+	}
+	if opt.Method == MethodCuts {
+		return qcpByCuts(ctx, c, opt, tLo, tHi, start)
+	}
+	prob, err := assemble(c, opt, tLo-1, tHi)
+	if err != nil {
+		return nil, err
+	}
+	solver, err := qp.NewSolver(prob.qpProb, opt.QP)
+	if err != nil {
+		return nil, err
+	}
+
+	var best *qp.Result
+	bestTau := tHi
+	probes := 0
+	lo, hi := tLo, tHi
+	xiTol := xiToleranceLeak(c.nomLeakUW, opt.XiNW)
+	for probes < opt.MaxProbes && (hi-lo) > opt.BisectTol*golden.MCT {
+		mid := 0.5 * (lo + hi)
+		if probes == 0 {
+			mid = hi // first probe at the nominal period must be feasible
+		}
+		if err := prob.setBoundsTau(solver, mid); err != nil {
+			return nil, err
+		}
+		res, err := solver.SolveCtx(ctx)
+		if err != nil {
+			return nil, err
+		}
+		probes++
+		feasible := res.Status == qp.Solved && res.Obj <= opt.XiNW+xiTol &&
+			prob.qpProb.MaxViolation(res.X) < 0.05
+		if feasible {
+			hi = mid
+			best = res
+			bestTau = mid
+		} else {
+			lo = mid
+		}
+	}
+	if best == nil {
+		return nil, errors.New("core: QCP bisection found no feasible clock period")
+	}
+	obs.Add(ctx, "core/qcp_probes", int64(probes))
+	r, err := finish(ctx, prob, best, probes, start)
+	if err != nil {
+		return nil, err
+	}
+	if r.PredMCT > bestTau {
+		r.PredMCT = bestTau
+	}
+	return r, nil
+}
+
+// qcpByCuts runs the clock-period bisection on the cutting-plane engine.
+// The cut pool is shared across probes: a path cut is valid for every τ.
+func qcpByCuts(ctx context.Context, c *Compiled, opt Options, tLo, tHi float64, start time.Time) (*Result, error) {
+	golden := c.Golden
+	cs := newCutSolverCompiled(c, opt)
+	xiTol := xiToleranceLeak(c.nomLeakUW, opt.XiNW)
+	var bestX []float64
+	probes := 0
+	lo, hi := tLo, tHi
+
+	// probe solves one clock-period candidate and reports whether it
+	// fits the leakage budget; solver trouble counts as infeasible
+	// rather than aborting the whole bisection, but cancellation
+	// propagates.
+	probe := func(s *cutSolver, tau float64) (bool, error) {
+		obj, feasible, err := s.solveTau(ctx, tau, opt.XiNW)
+		if err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				return false, err
+			}
+			return false, nil
+		}
+		return feasible && obj <= opt.XiNW+xiTol, nil
+	}
+
+	// First probe at the nominal period must be feasible.
+	ok, err := probe(cs, hi)
+	probes++
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, errors.New("core: QCP bisection found no feasible clock period")
+	}
+	bestX = append(bestX[:0], cs.x...)
+
+	// Warm bracket: when a related run already located the feasibility
+	// frontier, probe a half-tolerance band around its period.  Both
+	// probes landing as predicted collapses the interval to the stop
+	// width — the log₂ bisection never runs; a moved frontier degrades
+	// to ordinary bisection on a one-sided narrowed interval.
+	if seed := opt.SeedTau; seed > lo && seed < hi && probes < opt.MaxProbes {
+		guard := 0.5 * opt.BisectTol * golden.MCT
+		up := math.Min(seed+guard, hi)
+		ok, err := probe(cs, up)
+		probes++
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			hi = up
+			bestX = append(bestX[:0], cs.x...)
+			obs.Add(ctx, "core/bisect_bracket_hits", 1)
+			if down := seed - guard; down > lo && probes < opt.MaxProbes &&
+				(hi-lo) > opt.BisectTol*golden.MCT {
+				ok, err = probe(cs, down)
+				probes++
+				if err != nil {
+					return nil, err
+				}
+				if ok {
+					hi = down
+					bestX = append(bestX[:0], cs.x...)
+				} else {
+					lo = down
+				}
+			}
+		} else {
+			lo = up
+		}
+	}
+
+	speculative := opt.Speculate && par.Workers(opt.Workers) > 1
+	for probes < opt.MaxProbes && (hi-lo) > opt.BisectTol*golden.MCT {
+		if speculative && opt.MaxProbes-probes >= 2 {
+			// Trisect: two concurrent probes sharing the cut pool.
+			// minLeak(τ) is non-increasing, so feasibility at m1 < m2
+			// narrows the interval to a third per round.
+			m1 := lo + (hi-lo)/3
+			m2 := lo + 2*(hi-lo)/3
+			p1, p2 := cs.clone(), cs.clone()
+			baseRounds, baseSolves := cs.rounds, cs.solves
+			res, err := par.Map(ctx, 2, 2, func(i int) (bool, error) {
+				if i == 0 {
+					return probe(p1, m1)
+				}
+				return probe(p2, m2)
+			})
+			if err != nil {
+				return nil, err
+			}
+			probes += 2
+			cs.rounds = baseRounds + (p1.rounds - baseRounds) + (p2.rounds - baseRounds)
+			cs.solves = baseSolves + (p1.solves - baseSolves) + (p2.solves - baseSolves)
+			switch {
+			case res[0]:
+				hi = m1
+				cs.adopt(p1)
+				bestX = append(bestX[:0], p1.x...)
+			case res[1]:
+				lo, hi = m1, m2
+				cs.adopt(p2)
+				bestX = append(bestX[:0], p2.x...)
+			default:
+				lo = m2
+			}
+			continue
+		}
+		mid := 0.5 * (lo + hi)
+		ok, err := probe(cs, mid)
+		probes++
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			hi = mid
+			bestX = append(bestX[:0], cs.x...)
+		} else {
+			lo = mid
+		}
+	}
+	if bestX == nil {
+		return nil, errors.New("core: QCP bisection found no feasible clock period")
+	}
+	obs.Add(ctx, "core/qcp_probes", int64(probes))
+	copy(cs.x, bestX)
+	r, err := cs.result(ctx, probes)
+	if err != nil {
+		return nil, err
+	}
+	if r.PredMCT > hi {
+		r.PredMCT = hi
+	}
+	r.Runtime = time.Since(start)
+	return r, nil
+}

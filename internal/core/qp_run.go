@@ -1,0 +1,114 @@
+// QP solve stage (Section III-A.1 / III-B.1): minimize Δleakage under a
+// fixed clock-period constraint.  DMoptQP* compile on demand;
+// DMoptQPCompiled borrows a shared *Compiled artifact so variant jobs
+// pay the formulation cost once.
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/qp"
+	"repro/internal/sta"
+)
+
+// DMoptQP solves "Dose Map Optimization for Improved Leakage Under Timing
+// Constraint" (Section III-A.1 / III-B.1): minimize Δleakage subject to
+// MCT ≤ tau (ps) plus range and smoothness constraints.
+func DMoptQP(golden *sta.Result, model *Model, opt Options, tau float64) (*Result, error) {
+	return DMoptQPCtx(context.Background(), golden, model, opt, tau)
+}
+
+// DMoptQPCtx is DMoptQP with cancellation: a canceled context aborts
+// the solve between cut rounds / ADMM iterations with an error that
+// wraps context.Canceled.
+func DMoptQPCtx(ctx context.Context, golden *sta.Result, model *Model, opt Options, tau float64) (*Result, error) {
+	c, err := CompileCtx(ctx, golden, model, opt.CompileOptions())
+	if err != nil {
+		return nil, err
+	}
+	return DMoptQPCompiled(ctx, c, opt, tau)
+}
+
+// DMoptQPCompiled runs the QP against a previously compiled artifact.
+// opt must project onto the artifact's compile key.
+func DMoptQPCompiled(ctx context.Context, c *Compiled, opt Options, tau float64) (*Result, error) {
+	start := time.Now()
+	ctx, sp := obs.Start(ctx, "core/qp")
+	defer sp.End()
+	opt = opt.normalized()
+	if err := c.check(opt); err != nil {
+		return nil, err
+	}
+	if tau <= 0 {
+		return nil, errors.New("core: non-positive timing constraint")
+	}
+	if opt.Method == MethodCuts {
+		cs := newCutSolverCompiled(c, opt)
+		_, feasible, err := cs.solveTau(ctx, tau, math.Inf(1))
+		if err != nil {
+			return nil, err
+		}
+		if !feasible {
+			return nil, fmt.Errorf("core: QP infeasible at τ = %.1f ps", tau)
+		}
+		r, err := cs.result(ctx, 1)
+		if err != nil {
+			return nil, err
+		}
+		r.Runtime = time.Since(start)
+		return r, nil
+	}
+	prob, err := assemble(c, opt, tau-1, tau)
+	if err != nil {
+		return nil, err
+	}
+	solver, err := qp.NewSolver(prob.qpProb, opt.QP)
+	if err != nil {
+		return nil, err
+	}
+	res, err := solver.SolveCtx(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if res.Status == qp.PrimalInfeasible {
+		return nil, fmt.Errorf("core: QP infeasible at τ = %.1f ps", tau)
+	}
+	return finish(ctx, prob, res, 1, start)
+}
+
+// finish converts a node-assembly solution into a Result: extract,
+// model prediction, and golden signoff.
+func finish(ctx context.Context, prob *problem, res *qp.Result, probes int, start time.Time) (*Result, error) {
+	c := prob.c
+	layers := prob.extract(res.X)
+	predMCT, predLeak := c.predict(layers)
+	nominal := Eval{MCTps: c.Golden.MCT, LeakUW: c.nomLeakUW}
+	golden, err := signoff(ctx, c.Golden, prob.opt, layers)
+	if err != nil {
+		return nil, err
+	}
+	nArr := 0
+	for _, v := range prob.arrIdx {
+		if v >= 0 {
+			nArr++
+		}
+	}
+	return &Result{
+		Layers:          layers,
+		PredMCT:         predMCT,
+		PredDeltaLeakNW: predLeak,
+		Nominal:         nominal,
+		Golden:          golden,
+		Probes:          probes,
+		ArrivalVars:     nArr,
+		Rows:            prob.Rows,
+		Cols:            prob.nVar,
+		Status:          res.Status.String(),
+		Runtime:         time.Since(start),
+	}, nil
+}

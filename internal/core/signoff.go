@@ -1,0 +1,78 @@
+// Signoff stage of the DMopt pipeline: golden-timing and leakage
+// evaluation of an optimized dose assignment.  The solve stages talk to
+// it through one narrow interface — signoff(ctx, golden, opt, layers) —
+// so the optimizer's linear model never leaks into the acceptance
+// numbers.
+package core
+
+import (
+	"context"
+	"math"
+
+	"repro/internal/dosemap"
+	"repro/internal/liberty"
+	"repro/internal/power"
+	"repro/internal/sta"
+	"repro/internal/tech"
+)
+
+// Eval is a golden-signoff snapshot.
+type Eval struct {
+	MCTps  float64
+	LeakUW float64
+}
+
+// signoff applies the layers to the design and runs golden STA + power.
+func signoff(ctx context.Context, golden *sta.Result, opt Options, layers dosemap.Layers) (Eval, error) {
+	in := golden.In
+	dL, dW := layers.PerGate(in.Circ, in.Pl, opt.Snap)
+	pert := &sta.Perturb{DL: dL, DW: dW}
+	r, err := sta.AnalyzeCtx(ctx, in, opt.STA, pert)
+	if err != nil {
+		return Eval{}, err
+	}
+	return Eval{MCTps: r.MCT, LeakUW: power.Total(in.Masters, dL, dW)}, nil
+}
+
+// nominalLeak evaluates the zero-dose leakage in µW.
+func nominalLeak(golden *sta.Result) float64 {
+	return power.Total(golden.In.Masters, nil, nil)
+}
+
+// xiTolerance returns the leakage-budget acceptance tolerance in nW:
+// one part in 10⁴ of the design's nominal leakage (the solver's dose
+// precision maps to roughly this much objective noise), plus a relative
+// term for large explicit budgets.
+func xiTolerance(golden *sta.Result, xiNW float64) float64 {
+	return xiToleranceLeak(nominalLeak(golden), xiNW)
+}
+
+// xiToleranceLeak is xiTolerance with the nominal leakage precomputed
+// (the compile artifact caches it).
+func xiToleranceLeak(nomLeakUW, xiNW float64) float64 {
+	return 1e-6*math.Abs(xiNW) + 1e-4*nomLeakUW*power.NWPerUW
+}
+
+// snapLeakMargin estimates the leakage the timing-safe snapping adds on
+// top of the optimizer's solution: each grid dose rounds up by half a
+// characterized step on average, shortening gates by |Ds|·step/2 nm, so
+// the expected extra leakage is that length times Σ|β_p|.  The QCP
+// subtracts this margin from its budget ξ so the golden signoff still
+// lands within the requested leakage bound after rounding.
+func snapLeakMargin(model *Model) float64 {
+	sum := 0.0
+	for _, b := range model.Beta {
+		sum += math.Abs(b)
+	}
+	return math.Abs(tech.DoseSensitivity) * liberty.DoseStep / 2 * sum
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

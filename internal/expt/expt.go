@@ -111,14 +111,33 @@ type Context struct {
 	// solves (auto / cg / ldlt).
 	LinSys qp.LinSys
 
-	mu      sync.Mutex
-	designs map[string]*memo[*gen.Design]
-	goldens map[string]*memo[*sta.Result]
+	mu       sync.Mutex
+	designs  map[string]*memo[*gen.Design]
+	goldens  map[string]*memo[*sta.Result]
+	models   map[modelKey]*memo[*core.Model]
+	compiles map[compileKey]*memo[*core.Compiled]
+	// noCompileCache bypasses the model and compile memo layers; the
+	// equivalence tests use it to force cold builds for every job.
+	noCompileCache bool
 	// plMu serializes the experiments that mutate a cached design's
 	// placement (TableVIII, Fig10Profiles): they snapshot and restore
 	// cell positions and must not interleave with each other or with
 	// concurrent placement readers of the same design.
 	plMu sync.Mutex
+}
+
+// modelKey identifies a fitted delay/leakage model: the fit depends only
+// on the design's golden analysis and the layer mode.
+type modelKey struct {
+	design string
+	both   bool
+}
+
+// compileKey identifies a compiled DMopt formulation: everything the
+// artifact depends on beyond the golden analysis is in CompileOptions.
+type compileKey struct {
+	design string
+	co     core.CompileOptions
 }
 
 // memo is a build-once cache slot.  Unlike sync.Once, a build aborted
@@ -191,15 +210,9 @@ func New(opts ...Option) *Context {
 	}
 	c.designs = make(map[string]*memo[*gen.Design])
 	c.goldens = make(map[string]*memo[*sta.Result])
+	c.models = make(map[modelKey]*memo[*core.Model])
+	c.compiles = make(map[compileKey]*memo[*core.Compiled])
 	return c
-}
-
-// NewContext returns a harness context.  scale in (0, 1]; k ≤ 0 selects
-// the paper's 10 000.
-//
-// Deprecated: use New with WithScale and WithTopK.
-func NewContext(scale float64, k int) *Context {
-	return New(WithScale(scale), WithTopK(k))
 }
 
 // staCfg is the golden-analysis config with the harness worker knob.
@@ -264,6 +277,75 @@ func (c *Context) GoldenCtx(ctx context.Context, name string) (*sta.Result, erro
 		}
 		return core.GoldenNominalCtx(ctx, d, c.staCfg())
 	})
+}
+
+// modelCtx returns the (cached) fitted delay/leakage model for a preset
+// and layer mode.  Concurrent callers for the same key share one fit.
+func (c *Context) modelCtx(ctx context.Context, design string, both bool) (*core.Model, error) {
+	build := func() (*core.Model, error) {
+		golden, err := c.GoldenCtx(ctx, design)
+		if err != nil {
+			return nil, err
+		}
+		return core.FitModelCtx(ctx, golden, both, c.Workers)
+	}
+	if c.noCompileCache {
+		return build()
+	}
+	key := modelKey{design: design, both: both}
+	c.mu.Lock()
+	if c.models == nil {
+		c.models = make(map[modelKey]*memo[*core.Model])
+	}
+	e, ok := c.models[key]
+	if !ok {
+		e = &memo[*core.Model]{}
+		c.models[key] = e
+	}
+	c.mu.Unlock()
+	return e.get(build)
+}
+
+// compiledCtx returns the (cached) compiled DMopt formulation for a
+// preset under the given compile options.  Like the design and golden
+// memos, concurrent callers for the same key share one build and a
+// canceled build is never cached.  A served-from-cache call ticks
+// core/compile_hits; the build itself ticks core/compile_misses.
+func (c *Context) compiledCtx(ctx context.Context, design string, co core.CompileOptions) (*core.Compiled, error) {
+	build := func() (*core.Compiled, error) {
+		golden, err := c.GoldenCtx(ctx, design)
+		if err != nil {
+			return nil, err
+		}
+		model, err := c.modelCtx(ctx, design, co.BothLayers)
+		if err != nil {
+			return nil, err
+		}
+		return core.CompileCtx(ctx, golden, model, co)
+	}
+	if c.noCompileCache {
+		return build()
+	}
+	key := compileKey{design: design, co: co}
+	c.mu.Lock()
+	if c.compiles == nil {
+		c.compiles = make(map[compileKey]*memo[*core.Compiled])
+	}
+	e, ok := c.compiles[key]
+	if !ok {
+		e = &memo[*core.Compiled]{}
+		c.compiles[key] = e
+	}
+	c.mu.Unlock()
+	built := false
+	comp, err := e.get(func() (*core.Compiled, error) {
+		built = true
+		return build()
+	})
+	if err == nil && !built {
+		obs.Add(ctx, "core/compile_hits", 1)
+	}
+	return comp, err
 }
 
 func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
@@ -573,27 +655,23 @@ func (c *Context) RunDMCtx(ctx context.Context, design string, gridUm float64, q
 // runDM is RunDMCtx with a warm-bracket seed: seedTau > 0 passes a
 // related run's achieved clock period into the QCP bisection.
 func (c *Context) runDM(ctx context.Context, design string, gridUm float64, qcp, bothLayers bool, seedTau float64) (*core.Result, error) {
-	golden, err := c.GoldenCtx(ctx, design)
-	if err != nil {
-		return nil, err
-	}
-	model, err := core.FitModelCtx(ctx, golden, bothLayers, c.Workers)
-	if err != nil {
-		return nil, err
-	}
 	opt := core.DefaultOptions()
 	opt.G = gridUm
 	opt.BothLayers = bothLayers
 	opt.Workers = c.Workers
 	opt.QP.LinSys = c.LinSys
+	comp, err := c.compiledCtx(ctx, design, opt.CompileOptions())
+	if err != nil {
+		return nil, err
+	}
 	if qcp {
 		opt.SeedTau = seedTau
-		return core.DMoptQCPCtx(ctx, golden, model, opt)
+		return core.DMoptQCPCompiled(ctx, comp, opt)
 	}
 	// Tighten τ a hair below the nominal MCT: the optimizer's linear
 	// delay model misses the slew compounding the golden analysis sees,
 	// so a small guard band keeps the signoff at or under nominal.
-	return core.DMoptQPCtx(ctx, golden, model, opt, 0.99*golden.MCT)
+	return core.DMoptQPCompiled(ctx, comp, opt, 0.99*comp.Golden.MCT)
 }
 
 func dmRow(design string, g float64, kind string, r *core.Result) DMRow {
@@ -892,15 +970,18 @@ func (c *Context) TableVIIICtx(ctx context.Context) (*Table, error) {
 			return nil, err
 		}
 		restore := restorePlacement(d)
-		model, err := core.FitModelCtx(ctx, golden, false, c.Workers)
-		if err != nil {
-			return nil, err
-		}
 		opt := core.DefaultOptions()
 		opt.G = gridsFor(name, c.Scale)[0]
 		opt.Workers = c.Workers
 		opt.QP.LinSys = c.LinSys
-		dm, err := core.DMoptQCPCtx(ctx, golden, model, opt)
+		// Compile while the placement is pristine: the artifact snapshots
+		// the gate→grid map, and dosePl moves cells afterwards.
+		comp, err := c.compiledCtx(ctx, name, opt.CompileOptions())
+		if err != nil {
+			restore()
+			return nil, err
+		}
+		dm, err := core.DMoptQCPCompiled(ctx, comp, opt)
 		if err != nil {
 			restore()
 			return nil, err
@@ -945,15 +1026,16 @@ func (c *Context) Fig10ProfilesCtx(ctx context.Context, design string) (map[stri
 		return nil, err
 	}
 	defer restorePlacement(d)()
-	model, err := core.FitModelCtx(ctx, golden, false, c.Workers)
-	if err != nil {
-		return nil, err
-	}
 	opt := core.DefaultOptions()
 	opt.G = gridsFor(design, c.Scale)[0]
 	opt.Workers = c.Workers
 	opt.QP.LinSys = c.LinSys
 	opt.STA.Workers = c.Workers
+	// Compile while the placement is pristine (dosePl moves cells below).
+	comp, err := c.compiledCtx(ctx, design, opt.CompileOptions())
+	if err != nil {
+		return nil, err
+	}
 	k := c.K
 	maxStates := 60 * k
 
@@ -961,7 +1043,7 @@ func (c *Context) Fig10ProfilesCtx(ctx context.Context, design string) (map[stri
 	out := map[string][]float64{}
 	out["Orig"] = core.PathSlackProfile(golden, k, maxStates, period)
 
-	dm, err := core.DMoptQCPCtx(ctx, golden, model, opt)
+	dm, err := core.DMoptQCPCompiled(ctx, comp, opt)
 	if err != nil {
 		return nil, err
 	}

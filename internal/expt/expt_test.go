@@ -7,7 +7,7 @@ import (
 )
 
 // ctx returns a small-scale harness context shared by shape tests.
-func ctx() *Context { return NewContext(0.05, 400) }
+func ctx() *Context { return New(WithScale(0.05), WithTopK(400)) }
 
 func TestFigShapes(t *testing.T) {
 	// Fig. 3: delay increases with L, near-linear.
@@ -113,7 +113,7 @@ func TestDoseSweepShape(t *testing.T) {
 // TestCriticalityOrdering checks the Table VII story: the 65 nm designs
 // carry a bigger near-critical wall than their 90 nm counterparts.
 func TestCriticalityOrdering(t *testing.T) {
-	c := NewContext(0.1, 400)
+	c := New(WithScale(0.1), WithTopK(400))
 	a65, _, _, err := c.Criticality("AES-65")
 	if err != nil {
 		t.Fatal(err)
@@ -155,7 +155,7 @@ func TestRunDMShapes(t *testing.T) {
 }
 
 func TestTableVIIRenders(t *testing.T) {
-	c := NewContext(0.05, 200)
+	c := New(WithScale(0.05), WithTopK(200))
 	tab, err := c.TableVII()
 	if err != nil {
 		t.Fatal(err)

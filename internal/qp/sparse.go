@@ -216,6 +216,39 @@ func (c *CSR) Clone() *CSR {
 	return out
 }
 
+// CSRFromRows builds a CSR directly from per-row column/value lists.
+// Each row's columns must be strictly increasing (already canonical);
+// exact zeros are dropped, matching Triplet.Add/Compile semantics, so
+// the result is bit-identical to the triplet route without the global
+// sort.
+func CSRFromRows(n int, cols [][]int, vals [][]float64) *CSR {
+	m := len(cols)
+	nnz := 0
+	for _, c := range cols {
+		nnz += len(c)
+	}
+	out := &CSR{M: m, N: n,
+		RowPtr: make([]int, m+1),
+		Col:    make([]int, 0, nnz),
+		Val:    make([]float64, 0, nnz),
+	}
+	for r := range cols {
+		prev := -1
+		for k, c := range cols[r] {
+			if c <= prev || c >= n {
+				panic(fmt.Sprintf("qp: CSRFromRows row %d columns not strictly increasing in [0,%d)", r, n))
+			}
+			prev = c
+			if v := vals[r][k]; v != 0 {
+				out.Col = append(out.Col, c)
+				out.Val = append(out.Val, v)
+			}
+		}
+		out.RowPtr[r+1] = len(out.Col)
+	}
+	return out
+}
+
 // ConcatRows returns a new CSR stacking b's rows below a's.  Both
 // matrices must share the same column count.
 func ConcatRows(a, b *CSR) *CSR {

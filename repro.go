@@ -199,10 +199,3 @@ var (
 // configuration (full design sizes, K = 10 000, GOMAXPROCS workers),
 // adjusted by the options.
 func NewHarnessOpts(opts ...HarnessOption) *Harness { return expt.New(opts...) }
-
-// NewHarness returns an experiment harness at the given design scale
-// (1 = the paper's full Table I sizes) and top-path count K (≤0 = the
-// paper's 10 000).
-//
-// Deprecated: use NewHarnessOpts with WithScale and WithTopK.
-func NewHarness(scale float64, k int) *Harness { return expt.NewContext(scale, k) }
