@@ -3,11 +3,12 @@
 # records the serial-vs-parallel TableIV wall time; `make bench-json`
 # emits the machine-readable benchmark report; `make fuzz-smoke` gives
 # each parser fuzzer a 30 s budget; `make profile` captures CPU and
-# heap profiles of the Table IV pipeline.
+# heap profiles of the Table IV pipeline; `make serve-smoke` boots the
+# dmopt-serve daemon, runs one job through it and scrapes /metrics.
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-json fuzz-smoke profile all
+.PHONY: check vet build test race bench bench-json fuzz-smoke profile serve-smoke all
 
 all: check
 
@@ -37,8 +38,16 @@ bench:
 bench-json:
 	$(GO) test ./internal/core/ -run '^$$' -bench LinSys -benchtime 3x
 	$(GO) build -o tables.bin ./cmd/tables
-	./tables.bin -scale 0.15 -k 2000 -which iv -bench-json BENCH_pr5.json
+	./tables.bin -scale 0.15 -k 2000 -which iv -bench-json BENCH_pr6.json
 	rm -f tables.bin
+
+# End-to-end service smoke: boot dmopt-serve, run one scale-0.15 job
+# through the synchronous endpoint, require a 200 and a well-formed
+# /metrics report, then shut the daemon down.
+serve-smoke:
+	$(GO) build -o dmopt-serve.bin ./cmd/dmopt-serve
+	./scripts/serve_smoke.sh ./dmopt-serve.bin
+	rm -f dmopt-serve.bin
 
 # 30-second CI smoke of each native fuzz target (corpus + new inputs).
 fuzz-smoke:

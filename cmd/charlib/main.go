@@ -9,15 +9,12 @@
 package main
 
 import (
-	"context"
 	"flag"
 	"fmt"
-	"os"
 	"time"
 
+	"repro/internal/cli"
 	"repro/internal/liberty"
-	"repro/internal/obs"
-	"repro/internal/qp"
 	"repro/internal/tech"
 )
 
@@ -25,29 +22,16 @@ func main() {
 	nodeName := flag.String("node", "N65", "technology node: N65 or N90")
 	master := flag.String("master", "INVX1", "master to dump NLDM tables for")
 	tables := flag.Bool("tables", false, "dump dose-variant NLDM tables for -master")
-	workers := flag.Int("workers", 0, "parallel fan-out of the per-variant characterization; 0 = GOMAXPROCS")
-	stats := flag.Bool("stats", false, "print run telemetry (spans, counters) to stderr")
-	linsysFlag := flag.String("linsys", "auto", "ADMM linear-system backend (accepted for flag parity; this command runs no QP solves)")
+	com := cli.AddFlags("charlib")
 	flag.Parse()
+	com.Init()
+	defer com.Close()
 
-	if _, err := qp.ParseLinSys(*linsysFlag); err != nil {
-		fmt.Fprintf(os.Stderr, "charlib: %v\n", err)
-		os.Exit(1)
-	}
-
-	ctx := context.Background()
-	var rec *obs.Recorder
-	if *stats {
-		rec = obs.New()
-		ctx = obs.With(ctx, rec)
-	}
+	ctx := com.Context()
 	start := time.Now()
 
 	node, err := tech.ByName(*nodeName)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "charlib: %v\n", err)
-		os.Exit(1)
-	}
+	com.Check(err)
 	lib := liberty.New(node)
 	fmt.Printf("library %s: %d combinational + %d sequential masters\n",
 		node.Name, len(lib.CombMasters()), len(lib.SeqMasters()))
@@ -59,22 +43,16 @@ func main() {
 	}
 
 	if !*tables {
-		if rec != nil {
-			rec.WriteTree(os.Stderr, time.Since(start))
-		}
+		com.Finish("charlib "+node.Name, 1, 0, com.Workers, time.Since(start))
 		return
 	}
 	m, ok := lib.Master(*master)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "charlib: unknown master %q\n", *master)
-		os.Exit(1)
+		com.Fatalf("unknown master %q", *master)
 	}
 	fmt.Printf("\nNLDM tables for %s across the 21 poly-dose variants:\n", m.Name)
-	variants, err := liberty.Characterize(ctx, []*liberty.Master{m}, liberty.DoseSteps(), *workers)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "charlib: %v\n", err)
-		os.Exit(1)
-	}
+	variants, err := liberty.Characterize(ctx, []*liberty.Master{m}, liberty.DoseSteps(), com.Workers)
+	com.Check(err)
 	for _, v := range variants {
 		tab := v.Table
 		fmt.Printf("\ndose %+.1f%% (ΔL = %+.1f nm), leakage %.2f nW\n", v.Dose, v.DL, v.Leak)
@@ -91,7 +69,5 @@ func main() {
 			fmt.Println()
 		}
 	}
-	if rec != nil {
-		rec.WriteTree(os.Stderr, time.Since(start))
-	}
+	com.Finish("charlib "+node.Name, 1, 0, com.Workers, time.Since(start))
 }

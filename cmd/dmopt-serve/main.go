@@ -1,0 +1,84 @@
+// Command dmopt-serve runs the dose-map optimization as a long-running
+// HTTP/JSON service: POST a dmopt-job/v1 spec, poll the job, read the
+// result — the same numbers cmd/dmopt prints for the same spec, because
+// both transports run the shared internal/api executor.  The daemon
+// keeps a byte-budget LRU of compiled artifacts across requests and
+// exports its pipeline counters at /metrics in the dmopt-bench/v1
+// schema.
+//
+// Usage:
+//
+//	dmopt-serve [-addr :8080] [-max-running 2] [-max-queue 64]
+//	            [-job-workers 0] [-cache-mb 512]
+//
+// Quickstart:
+//
+//	dmopt-serve -addr :8080 &
+//	curl -s localhost:8080/v1/solve -d '{"design":"AES-65","scale":0.15}'
+//	curl -s localhost:8080/metrics
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	maxRunning := flag.Int("max-running", 2, "concurrently executing jobs")
+	maxQueue := flag.Int("max-queue", 64, "admission queue bound; overflow is rejected with 429")
+	cacheMB := flag.Int("cache-mb", 512, "artifact cache budget in MiB; 0 = unbounded")
+	keepJobs := flag.Int("keep-jobs", 1024, "finished jobs kept in the registry")
+	com := cli.AddFlags("dmopt-serve")
+	flag.Parse()
+	com.Init()
+	defer com.Close()
+
+	rec := obs.New()
+	srv := serve.New(serve.Config{
+		MaxRunning: *maxRunning,
+		MaxQueue:   *maxQueue,
+		JobWorkers: com.Workers,
+		CacheBytes: int64(*cacheMB) << 20,
+		KeepJobs:   *keepJobs,
+	}, rec)
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "dmopt-serve: listening on %s (max-running %d, queue %d, cache %d MiB)\n",
+		*addr, *maxRunning, *maxQueue, *cacheMB)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "dmopt-serve: %v, shutting down\n", sig)
+	case err := <-errc:
+		com.Check(err)
+	}
+
+	// Cancel every job first — queued, async-running, and synchronous
+	// solves tied to open requests — then drain the HTTP server; the
+	// canceled handlers return promptly so Shutdown completes.
+	srv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "dmopt-serve: shutdown: %v\n", err)
+	}
+	if com.Stats {
+		rec.WriteTree(os.Stderr, srv.Uptime())
+	}
+}

@@ -2,6 +2,11 @@
 // testcase and prints the golden signoff numbers, optionally followed by
 // the dosePl cell-swapping rounds.
 //
+// The flags assemble a dmopt-job/v1 spec (internal/api) and run it
+// in-process through the same Prepare/Execute path dmopt-serve uses, so
+// a job POSTed to the server returns numbers bit-identical to this
+// command.
+//
 // Usage:
 //
 //	dmopt [-design AES-65] [-scale 0.15] [-grid 5] [-qcp] [-both]
@@ -9,17 +14,12 @@
 package main
 
 import (
-	"context"
 	"flag"
 	"fmt"
-	"os"
-	"runtime"
-	"runtime/pprof"
 	"time"
 
-	"repro"
-	"repro/internal/obs"
-	"repro/internal/qp"
+	"repro/internal/api"
+	"repro/internal/cli"
 )
 
 func main() {
@@ -31,81 +31,47 @@ func main() {
 	delta := flag.Float64("delta", 2, "dose smoothness bound δ in percent")
 	xi := flag.Float64("xi", 0, "QCP leakage budget ξ in nW (Δleakage allowed)")
 	dosepl := flag.Bool("dosepl", false, "run dosePl cell-swapping rounds after DMopt")
-	workers := flag.Int("workers", 0, "parallel fan-out of STA/fit/solver; 0 = GOMAXPROCS (bit-identical results)")
-	linsysFlag := flag.String("linsys", "auto", "ADMM linear-system backend: auto, cg or ldlt")
-	stats := flag.Bool("stats", false, "print run telemetry (spans, counters) to stderr")
-	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
-	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	com := cli.AddFlags("dmopt")
 	flag.Parse()
+	com.Init()
+	defer com.Close()
 
-	stopProfile := startCPUProfile(*cpuprofile)
-	defer stopProfile()
-	defer writeMemProfile(*memprofile)
-
-	var preset repro.Preset
-	found := false
-	for _, p := range repro.Presets() {
-		if p.Name == *design {
-			preset = p
-			found = true
-		}
+	mode := api.ModeQP
+	if *qcp {
+		mode = api.ModeQCP
 	}
-	if !found {
-		fmt.Fprintf(os.Stderr, "dmopt: unknown design %q\n", *design)
-		os.Exit(1)
-	}
-	if *scale < 1 {
-		preset = preset.Scaled(*scale)
+	spec := api.JobSpec{
+		Design:     *design,
+		Scale:      *scale,
+		Mode:       mode,
+		XiNW:       *xi,
+		GridUm:     *grid,
+		Delta:      *delta,
+		BothLayers: *both,
+		DosePl:     *dosepl,
+		Workers:    com.Workers,
+		LinSys:     com.LinSys.String(),
 	}
 
 	start := time.Now()
-	d, err := repro.Generate(preset)
-	check(err)
-	fmt.Printf("generated %s: %d cells in %v\n", preset.Name, d.Circ.NumCells(), time.Since(start).Round(time.Millisecond))
-
-	linsys, err := qp.ParseLinSys(*linsysFlag)
-	check(err)
-
-	opt := repro.DefaultOptions()
-	opt.G = *grid
-	opt.Delta = *delta
-	opt.BothLayers = *both
-	opt.XiNW = *xi
-	opt.Workers = *workers
-	opt.QP.LinSys = linsys
-
-	mode := repro.ModeQPLeakage
-	if *qcp {
-		mode = repro.ModeQCPTiming
-	}
-	ctx := context.Background()
-	var rec *obs.Recorder
-	if *stats {
-		rec = obs.New()
-		ctx = obs.With(ctx, rec)
-	}
-	cfg := repro.FlowConfig{Opt: opt, Mode: mode, RunDosePl: *dosepl, DosePl: repro.DefaultDosePlOptions()}
-	out, err := repro.RunFlowCtx(ctx, d, cfg)
-	check(err)
+	res, out, err := api.Run(com.Context(), spec)
+	com.Check(err)
 
 	dm := out.DM
-	fmt.Printf("\n%s, grid %.1f µm, δ=%.1f, layers=%s\n", mode, *grid, *delta, layers(*both))
-	fmt.Printf("  nominal : MCT %8.1f ps   leakage %9.1f µW\n", dm.Nominal.MCTps, dm.Nominal.LeakUW)
+	fmt.Printf("%s: %d cells\n", spec.DesignKey(), out.Golden.In.Circ.NumCells())
+	fmt.Printf("\n%s, grid %.1f µm, δ=%.1f, layers=%s\n", res.Mode, *grid, *delta, layers(*both))
+	fmt.Printf("  nominal : MCT %8.1f ps   leakage %9.1f µW\n", res.NominalMCTPs, res.NominalLeakUW)
 	fmt.Printf("  DMopt   : MCT %8.1f ps   leakage %9.1f µW   (%+.2f%% / %+.2f%%)\n",
 		dm.Golden.MCTps, dm.Golden.LeakUW,
 		100*(dm.Golden.MCTps/dm.Nominal.MCTps-1), 100*(dm.Golden.LeakUW/dm.Nominal.LeakUW-1))
-	fmt.Printf("  solver  : %s, probes=%d, runtime %v\n", dm.Status, dm.Probes, dm.Runtime.Round(time.Millisecond))
-	st := dm.Layers.Poly.Stats()
+	fmt.Printf("  solver  : %s, probes=%d, runtime %v\n", res.SolverStatus, res.Probes, dm.Runtime.Round(time.Millisecond))
 	fmt.Printf("  dose map: min %.2f%%  max %.2f%%  mean %.2f%%  max neighbor Δ %.3f%%\n",
-		st.Min, st.Max, st.Mean, dm.Layers.Poly.MaxNeighborDiff())
-	if out.DosePl != nil {
-		dp := out.DosePl
+		res.Dose.MinPct, res.Dose.MaxPct, res.Dose.MeanPct, res.Dose.MaxNeighborDeltaPct)
+	if dp := res.DosePl; dp != nil {
 		fmt.Printf("  dosePl  : MCT %8.1f ps   leakage %9.1f µW   (%d swaps accepted over %d rounds)\n",
-			dp.After.MCTps, dp.After.LeakUW, dp.SwapsAccepted, len(dp.Rounds))
+			dp.MCTPs, dp.LeakUW, dp.SwapsAccepted, dp.Rounds)
 	}
-	if rec != nil {
-		rec.WriteTree(os.Stderr, time.Since(start))
-	}
+	com.Finish("dmopt "+spec.DesignKey(), *scale, 0, com.Workers, time.Since(start))
 }
 
 func layers(both bool) string {
@@ -113,38 +79,4 @@ func layers(both bool) string {
 		return "poly+active"
 	}
 	return "poly"
-}
-
-func check(err error) {
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "dmopt: %v\n", err)
-		os.Exit(1)
-	}
-}
-
-// startCPUProfile begins profiling into path (empty disables) and
-// returns the stop function to defer.
-func startCPUProfile(path string) func() {
-	if path == "" {
-		return func() {}
-	}
-	f, err := os.Create(path)
-	check(err)
-	check(pprof.StartCPUProfile(f))
-	return func() {
-		pprof.StopCPUProfile()
-		check(f.Close())
-	}
-}
-
-// writeMemProfile dumps a post-GC heap profile to path (empty disables).
-func writeMemProfile(path string) {
-	if path == "" {
-		return
-	}
-	f, err := os.Create(path)
-	check(err)
-	runtime.GC()
-	check(pprof.WriteHeapProfile(f))
-	check(f.Close())
 }

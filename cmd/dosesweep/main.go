@@ -9,50 +9,31 @@
 package main
 
 import (
-	"context"
 	"flag"
 	"fmt"
-	"os"
 	"time"
 
+	"repro/internal/cli"
 	"repro/internal/expt"
-	"repro/internal/obs"
-	"repro/internal/qp"
 )
 
 func main() {
 	design := flag.String("design", "AES-65", "testcase: AES-65, JPEG-65, AES-90, JPEG-90")
 	scale := flag.Float64("scale", 0.15, "design scale factor in (0,1]")
-	workers := flag.Int("workers", 0, "parallel fan-out across sweep points; 0 = GOMAXPROCS")
-	stats := flag.Bool("stats", false, "print run telemetry (spans, counters) to stderr")
-	linsysFlag := flag.String("linsys", "auto", "ADMM linear-system backend (accepted for flag parity; this command runs no QP solves)")
+	com := cli.AddFlags("dosesweep")
 	flag.Parse()
+	com.Init()
+	defer com.Close()
 
-	if _, err := qp.ParseLinSys(*linsysFlag); err != nil {
-		fmt.Fprintf(os.Stderr, "dosesweep: %v\n", err)
-		os.Exit(1)
-	}
-
-	ctx := context.Background()
-	var rec *obs.Recorder
-	if *stats {
-		rec = obs.New()
-		ctx = obs.With(ctx, rec)
-	}
 	start := time.Now()
-	c := expt.New(expt.WithScale(*scale), expt.WithWorkers(*workers))
-	rows, err := c.DoseSweepCtx(ctx, *design, expt.SweepDoses())
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "dosesweep: %v\n", err)
-		os.Exit(1)
-	}
+	c := expt.New(expt.WithScale(*scale), expt.WithWorkers(com.Workers))
+	rows, err := c.DoseSweepCtx(com.Context(), *design, expt.SweepDoses())
+	com.Check(err)
 	fmt.Printf("uniform poly-layer dose sweep on %s (scale %.2f)\n", *design, *scale)
 	fmt.Printf("%-10s %-10s %-9s %-13s %-9s\n", "dose (%)", "MCT (ns)", "imp (%)", "leak (µW)", "imp (%)")
 	for _, r := range rows {
 		fmt.Printf("%-10.1f %-10.3f %-9.2f %-13.1f %-9.2f\n",
 			r.Dose, r.MCTns, r.MCTImp, r.LeakUW, r.LeakImp)
 	}
-	if rec != nil {
-		rec.WriteTree(os.Stderr, time.Since(start))
-	}
+	com.Finish("dosesweep "+*design, *scale, 0, com.Workers, time.Since(start))
 }

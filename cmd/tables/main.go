@@ -14,19 +14,14 @@
 package main
 
 import (
-	"context"
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
-	"runtime/pprof"
 	"strings"
 	"time"
 
+	"repro/internal/cli"
 	"repro/internal/expt"
-	"repro/internal/obs"
-	"repro/internal/par"
-	"repro/internal/qp"
 )
 
 func main() {
@@ -35,30 +30,14 @@ func main() {
 	md := flag.Bool("md", false, "emit GitHub-flavored markdown instead of aligned text")
 	which := flag.String("which", "all", "comma-separated experiment list, or 'all'")
 	fig10Design := flag.String("fig10", "AES-65", "design for the Fig. 10 slack profiles")
-	workers := flag.Int("workers", 0, "parallel fan-out per experiment; 0 = GOMAXPROCS")
-	linsysFlag := flag.String("linsys", "auto", "ADMM linear-system backend: auto, cg or ldlt")
-	stats := flag.Bool("stats", false, "print run telemetry (spans, counters) to stderr")
-	benchJSON := flag.String("bench-json", "", "write a machine-readable benchmark report to this file")
-	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
-	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	com := cli.AddFlags("tables")
 	flag.Parse()
+	com.Init()
+	defer com.Close()
 
-	stopProfile := startCPUProfile(*cpuprofile)
-	defer stopProfile()
-	defer writeMemProfile(*memprofile)
-
-	linsys, err := qp.ParseLinSys(*linsysFlag)
-	check(err)
-
-	ctx := context.Background()
-	var rec *obs.Recorder
-	if *stats || *benchJSON != "" {
-		rec = obs.New()
-		ctx = obs.With(ctx, rec)
-	}
-
-	c := expt.New(expt.WithScale(*scale), expt.WithTopK(*k), expt.WithWorkers(*workers),
-		expt.WithLinSys(linsys))
+	ctx := com.Context()
+	c := expt.New(expt.WithScale(*scale), expt.WithTopK(*k), expt.WithWorkers(com.Workers),
+		expt.WithLinSys(com.LinSys))
 	sel := map[string]bool{}
 	for _, w := range strings.Split(strings.ToLower(*which), ",") {
 		sel[strings.TrimSpace(w)] = true
@@ -66,10 +45,7 @@ func main() {
 	want := func(name string) bool { return sel["all"] || sel[strings.ToLower(name)] }
 
 	emit := func(t *expt.Table, err error) {
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "tables: %v\n", err)
-			os.Exit(1)
-		}
+		com.Check(err)
 		if *md {
 			fmt.Println(t.Markdown())
 		} else {
@@ -125,49 +101,5 @@ func main() {
 	}
 	wall := time.Since(start)
 	fmt.Fprintf(os.Stderr, "tables: done in %v (scale %.2f)\n", wall.Round(time.Millisecond), *scale)
-	if rec != nil {
-		if *stats {
-			rec.WriteTree(os.Stderr, wall)
-		}
-		if *benchJSON != "" {
-			rep := rec.Report("tables -which "+*which, *scale, *k, par.Workers(*workers), wall)
-			rep.LinSys = linsys.String()
-			check(rep.WriteJSON(*benchJSON))
-			fmt.Fprintf(os.Stderr, "tables: wrote benchmark report to %s\n", *benchJSON)
-		}
-	}
-}
-
-func check(err error) {
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "tables: %v\n", err)
-		os.Exit(1)
-	}
-}
-
-// startCPUProfile begins profiling into path (empty disables) and
-// returns the stop function to defer.
-func startCPUProfile(path string) func() {
-	if path == "" {
-		return func() {}
-	}
-	f, err := os.Create(path)
-	check(err)
-	check(pprof.StartCPUProfile(f))
-	return func() {
-		pprof.StopCPUProfile()
-		check(f.Close())
-	}
-}
-
-// writeMemProfile dumps a post-GC heap profile to path (empty disables).
-func writeMemProfile(path string) {
-	if path == "" {
-		return
-	}
-	f, err := os.Create(path)
-	check(err)
-	runtime.GC()
-	check(pprof.WriteHeapProfile(f))
-	check(f.Close())
+	com.Finish("tables -which "+*which, *scale, *k, com.Workers, wall)
 }

@@ -1,0 +1,341 @@
+// Package api defines the versioned request/response contract of the
+// DMopt pipeline: a JobSpec describes one optimization job (design,
+// formulation, Options/ξ/τ) and a JobResult reports its signoff
+// numbers, both under the "dmopt-job/v1" schema.
+//
+// The contract is transport-neutral: cmd/dmopt builds a JobSpec from
+// flags and runs it in-process, dmopt-serve accepts the same document
+// over HTTP — both funnel through Prepare/Execute, so the two
+// transports cannot drift and their results are bit-identical by
+// construction.
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/qp"
+)
+
+// Schema identifies the request/response document layout.  Bump the
+// suffix on any incompatible change so clients can dispatch.
+const Schema = "dmopt-job/v1"
+
+// Job modes.
+const (
+	// ModeQP minimizes Δleakage under a clock-period bound (default).
+	ModeQP = "qp"
+	// ModeQCP minimizes the clock period under a leakage budget.
+	ModeQCP = "qcp"
+)
+
+// JobSpec describes one optimization job.  Zero-valued knobs select the
+// paper's defaults (see core.DefaultOptions); Normalized materializes
+// them.  The design is either a Table I preset referenced by name or a
+// full inline gen.Preset — a serialized design spec that generates a
+// deterministic netlist, placement and library binding.
+type JobSpec struct {
+	// Schema must be "" (assumed current) or Schema.
+	Schema string `json:"schema,omitempty"`
+
+	// Design names a Table I preset (AES-65, JPEG-65, AES-90, JPEG-90).
+	Design string `json:"design,omitempty"`
+	// Preset is an inline design spec, mutually exclusive with Design.
+	Preset *gen.Preset `json:"preset,omitempty"`
+	// Scale shrinks the design by a factor in (0, 1]; 0 selects 1.
+	Scale float64 `json:"scale,omitempty"`
+
+	// Mode is "qp" (default) or "qcp".
+	Mode string `json:"mode,omitempty"`
+	// TauPs is the QP clock-period bound in ps; 0 means the design's
+	// nominal MCT ("improve leakage without degrading timing").
+	TauPs float64 `json:"tau_ps,omitempty"`
+	// XiNW is the QCP Δleakage budget ξ in nW.
+	XiNW float64 `json:"xi_nw,omitempty"`
+
+	// GridUm is the dose-map grid size G in µm (default 5).
+	GridUm float64 `json:"grid_um,omitempty"`
+	// Delta is the dose smoothness bound δ in percent (default 2).
+	Delta float64 `json:"delta,omitempty"`
+	// DoseLo, DoseHi are the equipment correction range in percent
+	// (default ±5; both zero selects the default).
+	DoseLo float64 `json:"dose_lo,omitempty"`
+	DoseHi float64 `json:"dose_hi,omitempty"`
+	// BothLayers modulates poly and active layers simultaneously.
+	BothLayers bool `json:"both_layers,omitempty"`
+	// NoSnap disables the timing-safe rounding of grid doses to the
+	// characterized library steps before golden signoff.
+	NoSnap bool `json:"no_snap,omitempty"`
+	// Tiled adds seam smoothness rows between opposite map edges.
+	Tiled bool `json:"tiled,omitempty"`
+	// DosePl appends the cell-swapping placement rounds after DMopt.
+	DosePl bool `json:"dosepl,omitempty"`
+
+	// Workers bounds the job's parallel fan-out; 0 = GOMAXPROCS.
+	// Results are bit-identical for every worker count.
+	Workers int `json:"workers,omitempty"`
+	// LinSys selects the ADMM x-step backend: "auto", "cg" or "ldlt".
+	LinSys string `json:"linsys,omitempty"`
+}
+
+// Normalized returns a copy with every defaulted knob materialized, so
+// two specs describe the same job iff their normalized forms are equal.
+func (s JobSpec) Normalized() JobSpec {
+	def := core.DefaultOptions()
+	s.Schema = Schema
+	if s.Scale <= 0 || s.Scale > 1 {
+		s.Scale = 1
+	}
+	if s.Mode == "" {
+		s.Mode = ModeQP
+	}
+	s.Mode = strings.ToLower(s.Mode)
+	if s.GridUm == 0 {
+		s.GridUm = def.G
+	}
+	if s.Delta == 0 {
+		s.Delta = def.Delta
+	}
+	if s.DoseLo == 0 && s.DoseHi == 0 {
+		s.DoseLo, s.DoseHi = def.DoseLo, def.DoseHi
+	}
+	if s.LinSys == "" {
+		s.LinSys = qp.LinSys(0).String()
+	}
+	if s.Workers < 0 {
+		s.Workers = 0
+	}
+	return s
+}
+
+// Validate checks a normalized or raw spec; the returned error is safe
+// to surface verbatim to API clients.
+func (s JobSpec) Validate() error {
+	if s.Schema != "" && s.Schema != Schema {
+		return fmt.Errorf("api: unsupported schema %q (want %q)", s.Schema, Schema)
+	}
+	if (s.Design == "") == (s.Preset == nil) {
+		return fmt.Errorf("api: exactly one of design or preset must be set")
+	}
+	if s.Design != "" {
+		if _, err := gen.PresetByName(s.Design); err != nil {
+			return fmt.Errorf("api: %w", err)
+		}
+	}
+	if s.Preset != nil && s.Preset.Name == "" {
+		return fmt.Errorf("api: inline preset needs a name")
+	}
+	if s.Scale < 0 || s.Scale > 1 {
+		return fmt.Errorf("api: scale %g outside (0, 1]", s.Scale)
+	}
+	switch strings.ToLower(s.Mode) {
+	case "", ModeQP, ModeQCP:
+	default:
+		return fmt.Errorf("api: unknown mode %q (want %q or %q)", s.Mode, ModeQP, ModeQCP)
+	}
+	if s.TauPs < 0 {
+		return fmt.Errorf("api: negative clock-period bound tau_ps %g", s.TauPs)
+	}
+	if s.GridUm < 0 {
+		return fmt.Errorf("api: negative grid size grid_um %g", s.GridUm)
+	}
+	if s.Delta < 0 {
+		return fmt.Errorf("api: negative smoothness bound delta %g", s.Delta)
+	}
+	if s.DoseLo > s.DoseHi {
+		return fmt.Errorf("api: dose range [%g, %g] is empty", s.DoseLo, s.DoseHi)
+	}
+	if s.LinSys != "" {
+		if _, err := qp.ParseLinSys(s.LinSys); err != nil {
+			return fmt.Errorf("api: %w", err)
+		}
+	}
+	return nil
+}
+
+// GenPreset resolves the (scaled) design preset the spec describes.
+func (s JobSpec) GenPreset() (gen.Preset, error) {
+	s = s.Normalized()
+	var p gen.Preset
+	if s.Preset != nil {
+		p = *s.Preset
+	} else {
+		var err error
+		if p, err = gen.PresetByName(s.Design); err != nil {
+			return gen.Preset{}, err
+		}
+	}
+	if s.Scale < 1 {
+		p = p.Scaled(s.Scale)
+	}
+	return p, nil
+}
+
+// DesignKey is a canonical identity for the spec's generated design —
+// the cache key of the design/golden stages.  Inline presets key on
+// their full field set (Preset is a flat scalar struct).
+func (s JobSpec) DesignKey() string {
+	s = s.Normalized()
+	if s.Preset != nil {
+		return fmt.Sprintf("inline/%+v@%g", *s.Preset, s.Scale)
+	}
+	return fmt.Sprintf("%s@%g", s.Design, s.Scale)
+}
+
+// Options maps the spec onto the core run options.
+func (s JobSpec) Options() (core.Options, error) {
+	s = s.Normalized()
+	if err := s.Validate(); err != nil {
+		return core.Options{}, err
+	}
+	linsys, err := qp.ParseLinSys(s.LinSys)
+	if err != nil {
+		return core.Options{}, err
+	}
+	opt := core.DefaultOptions()
+	opt.G = s.GridUm
+	opt.Delta = s.Delta
+	opt.DoseLo, opt.DoseHi = s.DoseLo, s.DoseHi
+	opt.BothLayers = s.BothLayers
+	opt.XiNW = s.XiNW
+	opt.Snap = !s.NoSnap
+	opt.Tiled = s.Tiled
+	opt.Workers = s.Workers
+	opt.QP.LinSys = linsys
+	return opt, nil
+}
+
+// FlowMode maps the spec's mode string onto the core flow mode.
+func (s JobSpec) FlowMode() (core.Mode, error) {
+	switch strings.ToLower(s.Mode) {
+	case "", ModeQP:
+		return core.ModeQPLeakage, nil
+	case ModeQCP:
+		return core.ModeQCPTiming, nil
+	}
+	return 0, fmt.Errorf("api: unknown mode %q", s.Mode)
+}
+
+// FlowConfig maps the spec onto the end-to-end flow configuration.
+func (s JobSpec) FlowConfig() (core.FlowConfig, error) {
+	opt, err := s.Options()
+	if err != nil {
+		return core.FlowConfig{}, err
+	}
+	mode, err := s.FlowMode()
+	if err != nil {
+		return core.FlowConfig{}, err
+	}
+	return core.FlowConfig{
+		Opt:       opt,
+		Mode:      mode,
+		TauPs:     s.TauPs,
+		RunDosePl: s.DosePl,
+		DosePl:    core.DefaultDosePlOptions(),
+	}, nil
+}
+
+// MarshalCanonical renders the normalized spec as compact JSON — the
+// job-identity string the server logs and deduplicates on.
+func (s JobSpec) MarshalCanonical() string {
+	b, err := json.Marshal(s.Normalized())
+	if err != nil {
+		return s.DesignKey()
+	}
+	return string(b)
+}
+
+// DoseSummary reports the optimized dose map's shape.
+type DoseSummary struct {
+	MinPct              float64 `json:"min_pct"`
+	MaxPct              float64 `json:"max_pct"`
+	MeanPct             float64 `json:"mean_pct"`
+	RMSPct              float64 `json:"rms_pct"`
+	MaxNeighborDeltaPct float64 `json:"max_neighbor_delta_pct"`
+}
+
+// DosePlSummary reports the optional placement rounds.
+type DosePlSummary struct {
+	MCTPs         float64 `json:"mct_ps"`
+	LeakUW        float64 `json:"leak_uw"`
+	SwapsAccepted int     `json:"swaps_accepted"`
+	SwapsTried    int     `json:"swaps_tried"`
+	Rounds        int     `json:"rounds"`
+}
+
+// JobResult is the versioned outcome document of one job.
+type JobResult struct {
+	Schema string `json:"schema"`
+	Design string `json:"design"`
+	Mode   string `json:"mode"`
+
+	// Nominal and final golden-signoff snapshots.
+	NominalMCTPs  float64 `json:"nominal_mct_ps"`
+	NominalLeakUW float64 `json:"nominal_leak_uw"`
+	MCTPs         float64 `json:"mct_ps"`
+	LeakUW        float64 `json:"leak_uw"`
+	// Improvements in percent, positive is better.
+	MCTImpPct  float64 `json:"mct_imp_pct"`
+	LeakImpPct float64 `json:"leak_imp_pct"`
+
+	// Optimizer-model predictions and solve statistics.
+	PredMCTPs       float64 `json:"pred_mct_ps"`
+	PredDeltaLeakNW float64 `json:"pred_delta_leak_nw"`
+	Probes          int     `json:"probes"`
+	ArrivalVars     int     `json:"arrival_vars,omitempty"`
+	Rows            int     `json:"rows,omitempty"`
+	Cols            int     `json:"cols,omitempty"`
+	SolverStatus    string  `json:"solver_status"`
+
+	Dose   DoseSummary    `json:"dose"`
+	DosePl *DosePlSummary `json:"dosepl,omitempty"`
+
+	// RuntimeNS is the solve wall time (excludes cached stages).
+	RuntimeNS int64 `json:"runtime_ns"`
+}
+
+// ResultOf assembles the versioned result document from a flow outcome.
+func ResultOf(spec JobSpec, out *core.FlowOutcome) *JobResult {
+	spec = spec.Normalized()
+	dm := out.DM
+	st := dm.Layers.Poly.Stats()
+	r := &JobResult{
+		Schema:          Schema,
+		Design:          spec.DesignKey(),
+		Mode:            spec.Mode,
+		NominalMCTPs:    dm.Nominal.MCTps,
+		NominalLeakUW:   dm.Nominal.LeakUW,
+		MCTPs:           out.Final.MCTps,
+		LeakUW:          out.Final.LeakUW,
+		MCTImpPct:       100 * (1 - out.Final.MCTps/dm.Nominal.MCTps),
+		LeakImpPct:      100 * (1 - out.Final.LeakUW/dm.Nominal.LeakUW),
+		PredMCTPs:       dm.PredMCT,
+		PredDeltaLeakNW: dm.PredDeltaLeakNW,
+		Probes:          dm.Probes,
+		ArrivalVars:     dm.ArrivalVars,
+		Rows:            dm.Rows,
+		Cols:            dm.Cols,
+		SolverStatus:    dm.Status,
+		Dose: DoseSummary{
+			MinPct:              st.Min,
+			MaxPct:              st.Max,
+			MeanPct:             st.Mean,
+			RMSPct:              st.RMS,
+			MaxNeighborDeltaPct: dm.Layers.Poly.MaxNeighborDiff(),
+		},
+		RuntimeNS: int64(dm.Runtime),
+	}
+	if dp := out.DosePl; dp != nil {
+		r.DosePl = &DosePlSummary{
+			MCTPs:         dp.After.MCTps,
+			LeakUW:        dp.After.LeakUW,
+			SwapsAccepted: dp.SwapsAccepted,
+			SwapsTried:    dp.SwapsTried,
+			Rounds:        len(dp.Rounds),
+		}
+	}
+	return r
+}

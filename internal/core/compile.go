@@ -103,6 +103,21 @@ type Compiled struct {
 	nomLeakUW float64
 }
 
+// ApproxBytes estimates the artifact's resident size (slices and the
+// fixed-row CSR; the borrowed Golden/Model pointers are excluded — the
+// cache layers account for those stages separately).  Byte-budget
+// eviction only needs relative magnitudes, not exact accounting.
+func (c *Compiled) ApproxBytes() int64 {
+	n := len(c.gridOf) + len(c.order)
+	f := len(c.dosePD) + len(c.doseQ) + len(c.cutPD) +
+		len(c.fixedL) + len(c.fixedU) + len(c.worstArr) + len(c.worstSuf)
+	csr := 0
+	if c.fixedA != nil {
+		csr = 8*(len(c.fixedA.RowPtr)+len(c.fixedA.Col)) + 8*len(c.fixedA.Val)
+	}
+	return int64(8*n + 8*f + csr)
+}
+
 // check validates that run options match the artifact's compile key.
 func (c *Compiled) check(opt Options) error {
 	if co := opt.CompileOptions(); co != c.Opts {

@@ -72,18 +72,38 @@ func GoldenNominalCtx(ctx context.Context, d *gen.Design, cfg sta.Config) (*sta.
 	return sta.AnalyzeCtx(ctx, InputOf(d), cfg, nil)
 }
 
-// Run executes the Fig. 7 flow: golden analysis → coefficient fitting →
-// DMopt → golden signoff → optional dosePl rounds.
-func Run(d *gen.Design, cfg FlowConfig) (*FlowOutcome, error) {
-	return RunCtx(context.Background(), d, cfg)
+// FlowRequest describes one end-to-end Fig. 7 run: the design plus the
+// flow configuration.
+type FlowRequest struct {
+	Design *gen.Design
+	Config FlowConfig
 }
 
-// RunCtx is Run with cancellation: a canceled context aborts whichever
-// stage is in flight — golden analysis between levels, fitting between
-// gates, DMopt between cut rounds / ADMM iterations / bisection
-// probes, dosePl between rounds — with an error wrapping
-// context.Canceled.
+// Run executes the Fig. 7 flow.
+//
+// Deprecated: use SolveFlow.
+func Run(d *gen.Design, cfg FlowConfig) (*FlowOutcome, error) {
+	return SolveFlow(context.Background(), FlowRequest{Design: d, Config: cfg})
+}
+
+// RunCtx is Run with cancellation.
+//
+// Deprecated: use SolveFlow.
 func RunCtx(ctx context.Context, d *gen.Design, cfg FlowConfig) (*FlowOutcome, error) {
+	return SolveFlow(ctx, FlowRequest{Design: d, Config: cfg})
+}
+
+// SolveFlow executes the Fig. 7 flow: golden analysis → coefficient
+// fitting → DMopt → golden signoff → optional dosePl rounds.  A
+// canceled context aborts whichever stage is in flight — golden
+// analysis between levels, fitting between gates, DMopt between cut
+// rounds / ADMM iterations / bisection probes, dosePl between rounds —
+// with an error wrapping context.Canceled.
+func SolveFlow(ctx context.Context, req FlowRequest) (*FlowOutcome, error) {
+	d, cfg := req.Design, req.Config
+	if d == nil {
+		return nil, fmt.Errorf("core: flow request has no design")
+	}
 	cfg.Opt = cfg.Opt.normalized()
 	gctx, sp := obs.Start(ctx, "flow/golden")
 	golden, err := GoldenNominalCtx(gctx, d, cfg.Opt.STA)
@@ -105,9 +125,9 @@ func RunCtx(ctx context.Context, d *gen.Design, cfg FlowConfig) (*FlowOutcome, e
 		if tau <= 0 {
 			tau = golden.MCT
 		}
-		dm, err = DMoptQPCtx(dctx, golden, model, cfg.Opt, tau)
+		dm, err = SolveQP(dctx, QPRequest{Golden: golden, Model: model, Opt: cfg.Opt, TauPs: tau})
 	case ModeQCPTiming:
-		dm, err = DMoptQCPCtx(dctx, golden, model, cfg.Opt)
+		dm, err = SolveQCP(dctx, QCPRequest{Golden: golden, Model: model, Opt: cfg.Opt})
 	default:
 		err = fmt.Errorf("core: unknown flow mode %v", cfg.Mode)
 	}

@@ -1,7 +1,8 @@
 // QCP solve stage (Section III-A.2 / III-B.2): minimize the clock
 // period under a leakage budget, by monotone bisection with the QP as
-// the feasibility oracle.  DMoptQCP* compile on demand;
-// DMoptQCPCompiled borrows a shared *Compiled artifact.
+// the feasibility oracle.  SolveQCP is the single ctx-first entry
+// point; a QCPRequest either borrows a shared *Compiled artifact or
+// compiles on demand from (Golden, Model).
 package core
 
 import (
@@ -16,34 +17,57 @@ import (
 	"repro/internal/sta"
 )
 
-// DMoptQCP solves "Dose Map Optimization for Improved Timing Under
-// Leakage Constraint" (Section III-A.2 / III-B.2): minimize the clock
-// period subject to Δleakage ≤ ξ.  The quadratically constrained program
-// is solved by monotone bisection on the clock period, using the QP as
-// the feasibility oracle: minLeak(τ) is non-increasing in τ, so
-// τ is feasible iff minLeak(τ) ≤ ξ.
-func DMoptQCP(golden *sta.Result, model *Model, opt Options) (*Result, error) {
-	return DMoptQCPCtx(context.Background(), golden, model, opt)
+// QCPRequest describes one clock-period-minimization solve.  Artifact
+// resolution follows the same rule as QPRequest: Compiled when set,
+// else an on-demand compile from (Golden, Model).
+type QCPRequest struct {
+	// Compiled is an optional pre-built formulation artifact.
+	Compiled *Compiled
+	// Golden and Model feed the on-demand compile when Compiled is nil.
+	Golden *sta.Result
+	Model  *Model
+	// Opt parameterizes the solve; Opt.XiNW is the leakage budget ξ.
+	Opt Options
 }
 
-// DMoptQCPCtx is DMoptQCP with cancellation: a canceled context aborts
-// the bisection between probes (and probes between cut rounds / ADMM
-// iterations) with an error that wraps context.Canceled.
+// DMoptQCP solves "Dose Map Optimization for Improved Timing Under
+// Leakage Constraint" (Section III-A.2 / III-B.2).
+//
+// Deprecated: use SolveQCP.
+func DMoptQCP(golden *sta.Result, model *Model, opt Options) (*Result, error) {
+	return SolveQCP(context.Background(), QCPRequest{Golden: golden, Model: model, Opt: opt})
+}
+
+// DMoptQCPCtx is DMoptQCP with cancellation.
+//
+// Deprecated: use SolveQCP.
 func DMoptQCPCtx(ctx context.Context, golden *sta.Result, model *Model, opt Options) (*Result, error) {
-	c, err := CompileCtx(ctx, golden, model, opt.CompileOptions())
-	if err != nil {
-		return nil, err
-	}
-	return DMoptQCPCompiled(ctx, c, opt)
+	return SolveQCP(ctx, QCPRequest{Golden: golden, Model: model, Opt: opt})
 }
 
 // DMoptQCPCompiled runs the QCP bisection against a previously compiled
-// artifact.  opt must project onto the artifact's compile key.
+// artifact.
+//
+// Deprecated: use SolveQCP.
 func DMoptQCPCompiled(ctx context.Context, c *Compiled, opt Options) (*Result, error) {
+	return SolveQCP(ctx, QCPRequest{Compiled: c, Opt: opt})
+}
+
+// SolveQCP solves the Section III QCP: minimize the clock period subject
+// to Δleakage ≤ Opt.XiNW, by monotone bisection on the clock period with
+// the QP as the feasibility oracle: minLeak(τ) is non-increasing in τ,
+// so τ is feasible iff minLeak(τ) ≤ ξ.  A canceled context aborts the
+// bisection between probes (and probes between cut rounds / ADMM
+// iterations) with an error that wraps context.Canceled.
+func SolveQCP(ctx context.Context, req QCPRequest) (*Result, error) {
+	c, err := QPRequest{Compiled: req.Compiled, Golden: req.Golden, Model: req.Model, Opt: req.Opt}.compiled(ctx)
+	if err != nil {
+		return nil, err
+	}
 	start := time.Now()
 	ctx, sp := obs.Start(ctx, "core/qcp")
 	defer sp.End()
-	opt = opt.normalized()
+	opt := req.Opt.normalized()
 	if err := c.check(opt); err != nil {
 		return nil, err
 	}

@@ -1,7 +1,8 @@
 // QP solve stage (Section III-A.1 / III-B.1): minimize Δleakage under a
-// fixed clock-period constraint.  DMoptQP* compile on demand;
-// DMoptQPCompiled borrows a shared *Compiled artifact so variant jobs
-// pay the formulation cost once.
+// fixed clock-period constraint.  SolveQP is the single ctx-first entry
+// point; a QPRequest either borrows a shared *Compiled artifact (so
+// variant jobs pay the formulation cost once) or compiles on demand
+// from (Golden, Model).
 package core
 
 import (
@@ -16,31 +17,72 @@ import (
 	"repro/internal/sta"
 )
 
+// QPRequest describes one leakage-minimization solve.  Exactly one of
+// the two artifact routes must be populated: Compiled (a shared
+// pre-built formulation, whose compile key Opt must match) or the
+// (Golden, Model) pair, which compiles on demand.
+type QPRequest struct {
+	// Compiled is an optional pre-built formulation artifact.
+	Compiled *Compiled
+	// Golden and Model feed the on-demand compile when Compiled is nil.
+	Golden *sta.Result
+	Model  *Model
+	// Opt parameterizes the solve; it must project onto the artifact's
+	// compile key when Compiled is set.
+	Opt Options
+	// TauPs is the clock-period bound in ps (MCT ≤ TauPs).
+	TauPs float64
+}
+
+// compiled resolves the request's formulation artifact, compiling on
+// demand when no shared one was supplied.
+func (req QPRequest) compiled(ctx context.Context) (*Compiled, error) {
+	if req.Compiled != nil {
+		return req.Compiled, nil
+	}
+	if req.Golden == nil || req.Model == nil {
+		return nil, errors.New("core: request needs either Compiled or (Golden, Model)")
+	}
+	return CompileCtx(ctx, req.Golden, req.Model, req.Opt.CompileOptions())
+}
+
 // DMoptQP solves "Dose Map Optimization for Improved Leakage Under Timing
 // Constraint" (Section III-A.1 / III-B.1): minimize Δleakage subject to
 // MCT ≤ tau (ps) plus range and smoothness constraints.
+//
+// Deprecated: use SolveQP.
 func DMoptQP(golden *sta.Result, model *Model, opt Options, tau float64) (*Result, error) {
-	return DMoptQPCtx(context.Background(), golden, model, opt, tau)
+	return SolveQP(context.Background(), QPRequest{Golden: golden, Model: model, Opt: opt, TauPs: tau})
 }
 
-// DMoptQPCtx is DMoptQP with cancellation: a canceled context aborts
-// the solve between cut rounds / ADMM iterations with an error that
-// wraps context.Canceled.
+// DMoptQPCtx is DMoptQP with cancellation.
+//
+// Deprecated: use SolveQP.
 func DMoptQPCtx(ctx context.Context, golden *sta.Result, model *Model, opt Options, tau float64) (*Result, error) {
-	c, err := CompileCtx(ctx, golden, model, opt.CompileOptions())
-	if err != nil {
-		return nil, err
-	}
-	return DMoptQPCompiled(ctx, c, opt, tau)
+	return SolveQP(ctx, QPRequest{Golden: golden, Model: model, Opt: opt, TauPs: tau})
 }
 
 // DMoptQPCompiled runs the QP against a previously compiled artifact.
-// opt must project onto the artifact's compile key.
+//
+// Deprecated: use SolveQP.
 func DMoptQPCompiled(ctx context.Context, c *Compiled, opt Options, tau float64) (*Result, error) {
+	return SolveQP(ctx, QPRequest{Compiled: c, Opt: opt, TauPs: tau})
+}
+
+// SolveQP solves the Section III QP: minimize Δleakage subject to
+// MCT ≤ req.TauPs plus range and smoothness constraints.  A canceled
+// context aborts the solve between cut rounds / ADMM iterations with an
+// error that wraps context.Canceled.
+func SolveQP(ctx context.Context, req QPRequest) (*Result, error) {
+	c, err := req.compiled(ctx)
+	if err != nil {
+		return nil, err
+	}
 	start := time.Now()
 	ctx, sp := obs.Start(ctx, "core/qp")
 	defer sp.End()
-	opt = opt.normalized()
+	opt := req.Opt.normalized()
+	tau := req.TauPs
 	if err := c.check(opt); err != nil {
 		return nil, err
 	}

@@ -666,12 +666,12 @@ func (c *Context) runDM(ctx context.Context, design string, gridUm float64, qcp,
 	}
 	if qcp {
 		opt.SeedTau = seedTau
-		return core.DMoptQCPCompiled(ctx, comp, opt)
+		return core.SolveQCP(ctx, core.QCPRequest{Compiled: comp, Opt: opt})
 	}
 	// Tighten τ a hair below the nominal MCT: the optimizer's linear
 	// delay model misses the slew compounding the golden analysis sees,
 	// so a small guard band keeps the signoff at or under nominal.
-	return core.DMoptQPCompiled(ctx, comp, opt, 0.99*comp.Golden.MCT)
+	return core.SolveQP(ctx, core.QPRequest{Compiled: comp, Opt: opt, TauPs: 0.99 * comp.Golden.MCT})
 }
 
 func dmRow(design string, g float64, kind string, r *core.Result) DMRow {
@@ -981,7 +981,7 @@ func (c *Context) TableVIIICtx(ctx context.Context) (*Table, error) {
 			restore()
 			return nil, err
 		}
-		dm, err := core.DMoptQCPCompiled(ctx, comp, opt)
+		dm, err := core.SolveQCP(ctx, core.QCPRequest{Compiled: comp, Opt: opt})
 		if err != nil {
 			restore()
 			return nil, err
@@ -1043,7 +1043,7 @@ func (c *Context) Fig10ProfilesCtx(ctx context.Context, design string) (map[stri
 	out := map[string][]float64{}
 	out["Orig"] = core.PathSlackProfile(golden, k, maxStates, period)
 
-	dm, err := core.DMoptQCPCompiled(ctx, comp, opt)
+	dm, err := core.SolveQCP(ctx, core.QCPRequest{Compiled: comp, Opt: opt})
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,327 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/obs"
+)
+
+func testSpec() api.JobSpec {
+	return api.JobSpec{Design: "AES-65", Scale: 0.1}
+}
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server, *obs.Recorder) {
+	t.Helper()
+	rec := obs.New()
+	srv := New(cfg, rec)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return srv, ts, rec
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	out, _ := io.ReadAll(resp.Body)
+	return resp, out
+}
+
+func getJSON(t *testing.T, url string, v any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	if v != nil {
+		if err := json.Unmarshal(b, v); err != nil {
+			t.Fatalf("GET %s: bad JSON %q: %v", url, b, err)
+		}
+	}
+	return resp
+}
+
+// resultFingerprint strips the wall-time field, the only part of a
+// JobResult allowed to differ between two runs of the same spec.
+func resultFingerprint(t *testing.T, r *api.JobResult) string {
+	t.Helper()
+	c := *r
+	c.RuntimeNS = 0
+	b, err := json.Marshal(c)
+	if err != nil {
+		t.Fatalf("marshal result: %v", err)
+	}
+	return string(b)
+}
+
+// TestHTTPJobLifecycle: submit over HTTP, long-poll to completion, and
+// require the result document to be bit-identical to the direct
+// in-process executor (the cmd/dmopt path) — every float crosses JSON
+// unrounded, so string equality of the fingerprints is bit equality.
+func TestHTTPJobLifecycle(t *testing.T) {
+	_, ts, rec := newTestServer(t, Config{MaxRunning: 1})
+
+	resp, body := postJSON(t, ts.URL+"/v1/jobs", testSpec())
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, body)
+	}
+	var view JobView
+	if err := json.Unmarshal(body, &view); err != nil {
+		t.Fatalf("submit body %q: %v", body, err)
+	}
+	if view.ID == "" || view.State.Terminal() {
+		t.Fatalf("fresh job view: %+v", view)
+	}
+
+	getJSON(t, ts.URL+"/v1/jobs/"+view.ID+"?wait=120s", &view)
+	if view.State != StateDone {
+		t.Fatalf("job ended %s (%s)", view.State, view.Error)
+	}
+	if view.Result == nil || view.Started == nil || view.Finished == nil {
+		t.Fatalf("done view incomplete: %+v", view)
+	}
+
+	ref, _, err := api.Run(context.Background(), testSpec())
+	if err != nil {
+		t.Fatalf("direct run: %v", err)
+	}
+	if got, want := resultFingerprint(t, view.Result), resultFingerprint(t, ref); got != want {
+		t.Fatalf("HTTP result differs from direct path:\n  http   %s\n  direct %s", got, want)
+	}
+
+	// A repeated submission is served from the artifact caches: the
+	// compile memo hit is observable at /metrics, and the numbers stay
+	// bit-identical.
+	resp, body = postJSON(t, ts.URL+"/v1/jobs", testSpec())
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("resubmit: %d %s", resp.StatusCode, body)
+	}
+	var again JobView
+	if err := json.Unmarshal(body, &again); err != nil {
+		t.Fatalf("resubmit body: %v", err)
+	}
+	getJSON(t, ts.URL+"/v1/jobs/"+again.ID+"?wait=120s", &again)
+	if again.State != StateDone {
+		t.Fatalf("cached job ended %s (%s)", again.State, again.Error)
+	}
+	if got, want := resultFingerprint(t, again.Result), resultFingerprint(t, ref); got != want {
+		t.Fatalf("cached result differs:\n  cached %s\n  direct %s", got, want)
+	}
+	if hits := rec.Snapshot().Counters["core/compile_hits"]; hits < 1 {
+		t.Fatalf("compile_hits = %d after resubmission, want >= 1", hits)
+	}
+
+	var rep obs.Report
+	getJSON(t, ts.URL+"/metrics", &rep)
+	if rep.Schema != obs.Schema {
+		t.Fatalf("metrics schema %q, want %q", rep.Schema, obs.Schema)
+	}
+	if rep.Counters["core/compile_hits"] < 1 || rep.Counters["serve/jobs_done"] != 2 {
+		t.Fatalf("metrics counters: %v", rep.Counters)
+	}
+
+	var list []JobView
+	getJSON(t, ts.URL+"/v1/jobs", &list)
+	if len(list) != 2 {
+		t.Fatalf("list has %d jobs, want 2", len(list))
+	}
+}
+
+// TestHTTPSyncSolve: the synchronous endpoint returns the same
+// bit-identical document without a job handle.
+func TestHTTPSyncSolve(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{MaxRunning: 1})
+	resp, body := postJSON(t, ts.URL+"/v1/solve", testSpec())
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve: %d %s", resp.StatusCode, body)
+	}
+	var res api.JobResult
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatalf("solve body: %v", err)
+	}
+	ref, _, err := api.Run(context.Background(), testSpec())
+	if err != nil {
+		t.Fatalf("direct run: %v", err)
+	}
+	if got, want := resultFingerprint(t, &res), resultFingerprint(t, ref); got != want {
+		t.Fatalf("sync result differs:\n  http   %s\n  direct %s", got, want)
+	}
+}
+
+// TestHTTPErrors: unknown jobs 404, malformed and invalid specs 400.
+func TestHTTPErrors(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{MaxRunning: 1})
+	if resp := getJSON(t, ts.URL+"/v1/jobs/job-999999", nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job: %d", resp.StatusCode)
+	}
+	resp, _ := postJSON(t, ts.URL+"/v1/jobs", api.JobSpec{Design: "DES-65"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("invalid spec: %d", resp.StatusCode)
+	}
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(`{"desing":`))
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed body: %d", resp.StatusCode)
+	}
+	var ok map[string]string
+	if resp := getJSON(t, ts.URL+"/healthz", &ok); resp.StatusCode != http.StatusOK || ok["status"] != "ok" {
+		t.Fatalf("healthz: %d %v", resp.StatusCode, ok)
+	}
+}
+
+// holdKey occupies a cache key so any job needing it blocks inside the
+// artifact stage until release is closed; the held build then reports
+// a cancellation-wrapped error, which the cache must not retain, so
+// the blocked job rebuilds under its own (possibly canceled) context.
+func holdKey(srv *Server, key string) (release func()) {
+	ch := make(chan struct{})
+	started := make(chan struct{})
+	go srv.cache.GetOrBuild(context.Background(), key, func(context.Context) (any, int64, error) {
+		close(started)
+		<-ch
+		return nil, 0, fmt.Errorf("holder released: %w", context.Canceled)
+	})
+	<-started
+	var once sync.Once
+	return func() { once.Do(func() { close(ch) }) }
+}
+
+// TestHTTPAdmissionAndCancel: with one running slot and a one-deep
+// queue, overflow is rejected with 429 and a queued job cancels
+// deterministically through DELETE while the running job is untouched.
+func TestHTTPAdmissionAndCancel(t *testing.T) {
+	srv, ts, _ := newTestServer(t, Config{MaxRunning: 1, MaxQueue: 1})
+	release := holdKey(srv, "design/"+testSpec().DesignKey())
+	defer release()
+
+	// Job A: admitted, blocks inside the design stage on the held key.
+	_, body := postJSON(t, ts.URL+"/v1/jobs", testSpec())
+	var a JobView
+	if err := json.Unmarshal(body, &a); err != nil {
+		t.Fatalf("submit A: %v", err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for a.State != StateRunning {
+		if time.Now().After(deadline) {
+			t.Fatalf("job A stuck in %s", a.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+		getJSON(t, ts.URL+"/v1/jobs/"+a.ID, &a)
+	}
+
+	// Job B fills the queue; job C overflows it.
+	resp, body := postJSON(t, ts.URL+"/v1/jobs", testSpec())
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit B: %d %s", resp.StatusCode, body)
+	}
+	var b JobView
+	if err := json.Unmarshal(body, &b); err != nil {
+		t.Fatalf("submit B: %v", err)
+	}
+	resp, body = postJSON(t, ts.URL+"/v1/jobs", testSpec())
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow submit: %d %s", resp.StatusCode, body)
+	}
+
+	// DELETE the queued job: its admission select observes the cancel
+	// without ever needing the running slot.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+b.ID, nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("DELETE B: %v", err)
+	}
+	dbody, _ := io.ReadAll(dresp.Body)
+	dresp.Body.Close()
+	if err := json.Unmarshal(dbody, &b); err != nil {
+		t.Fatalf("DELETE body %q: %v", dbody, err)
+	}
+	if b.State != StateCanceled {
+		t.Fatalf("deleted job in state %s", b.State)
+	}
+
+	// Release the held key: job A rebuilds under its live context and
+	// runs to completion, unaffected by B's cancellation.
+	release()
+	getJSON(t, ts.URL+"/v1/jobs/"+a.ID+"?wait=120s", &a)
+	if a.State != StateDone {
+		t.Fatalf("job A ended %s (%s)", a.State, a.Error)
+	}
+}
+
+// TestSolveClientDisconnect: a client abandoning the synchronous
+// endpoint cancels the in-flight solve; the server records the job as
+// canceled, not failed, and stays healthy.
+func TestSolveClientDisconnect(t *testing.T) {
+	srv, ts, rec := newTestServer(t, Config{MaxRunning: 1})
+	release := holdKey(srv, "design/"+testSpec().DesignKey())
+
+	ctx, cancel := context.WithCancel(context.Background())
+	spec, _ := json.Marshal(testSpec())
+	req, _ := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/solve", bytes.NewReader(spec))
+	errc := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+		errc <- err
+	}()
+
+	// Wait until the solve is inside execute (holding the run slot),
+	// then hang up.
+	deadline := time.Now().Add(30 * time.Second)
+	for len(srv.sem) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("solve never acquired the run slot")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	cancel()
+	if err := <-errc; err == nil {
+		t.Fatal("client request succeeded despite disconnect")
+	}
+	release()
+
+	deadline = time.Now().Add(30 * time.Second)
+	for rec.Snapshot().Counters["serve/jobs_canceled"] < 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("job never recorded as canceled: %v", rec.Snapshot().Counters)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n := rec.Snapshot().Counters["serve/jobs_failed"]; n != 0 {
+		t.Fatalf("disconnect recorded as failure (%d)", n)
+	}
+
+	// The slot is released; the server still serves fresh work.
+	resp := getJSON(t, ts.URL+"/healthz", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz after disconnect: %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,478 @@
+// Package serve is the long-running optimization service behind
+// cmd/dmopt-serve: a job manager that executes dmopt-job/v1 specs
+// (internal/api) over the staged compile→solve→signoff pipeline, with
+// admission control, per-job worker budgets, graceful cancellation via
+// the ctx-first core entry points, and a byte-budget LRU around the
+// design/golden/model/compile stages so the artifact cache survives
+// millions of distinct requests.
+//
+// Job lifecycle: queued → running → done | failed | canceled.  A job
+// is admitted when a running slot (Config.MaxRunning) frees up; the
+// queue beyond the running set is bounded by Config.MaxQueue and
+// overflow is rejected at submission (HTTP 429).  Cancellation — by
+// DELETE, by client disconnect on the synchronous endpoint, or by
+// server shutdown — cancels the job's context, which the solver
+// observes between cut rounds / ADMM iterations / bisection probes.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/obs"
+	"repro/internal/par"
+	"repro/internal/sta"
+)
+
+// Config sizes the service.
+type Config struct {
+	// MaxRunning bounds concurrently executing jobs (0 = 1).
+	MaxRunning int
+	// MaxQueue bounds jobs waiting for a running slot (0 = 64).
+	MaxQueue int
+	// JobWorkers caps each job's parallel fan-out: a spec asking for
+	// more (or for the default) is clamped to this budget, so one job
+	// cannot monopolize the machine.  0 = GOMAXPROCS.
+	JobWorkers int
+	// CacheBytes is the artifact cache budget (0 = unbounded).
+	CacheBytes int64
+	// KeepJobs bounds the finished-job registry; the oldest finished
+	// jobs are dropped past it (0 = 1024).
+	KeepJobs int
+}
+
+// State is a job's lifecycle phase.
+type State string
+
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// Terminal reports whether no further transition can happen.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Job is one submitted optimization; all mutable fields are guarded by
+// the server mutex, and done closes exactly once on reaching a
+// terminal state.
+type Job struct {
+	ID   string
+	Spec api.JobSpec
+
+	state     State
+	err       string
+	result    *api.JobResult
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+// ErrQueueFull rejects a submission when the admission queue is at
+// capacity (HTTP 429 at the transport).
+var ErrQueueFull = errors.New("serve: admission queue full")
+
+// ErrNotFound reports an unknown job id.
+var ErrNotFound = errors.New("serve: no such job")
+
+// Server is the job manager.  Construct with New, release with Close.
+type Server struct {
+	cfg   Config
+	rec   *obs.Recorder
+	cache *Cache
+	start time.Time
+
+	baseCtx   context.Context
+	cancelAll context.CancelFunc
+	sem       chan struct{}
+	wg        sync.WaitGroup
+
+	// plMu serializes dosePl jobs: they mutate a cached design's
+	// placement in place and restore it afterwards (the expt harness
+	// discipline), so they must not overlap each other or concurrent
+	// readers of the same design's placement.
+	plMu sync.Mutex
+
+	mu     sync.Mutex
+	closed bool
+	jobs   map[string]*Job
+	order  []string // submission order, for listing and registry GC
+	queued int
+	seq    int
+}
+
+// New returns a started server.  The Recorder accumulates pipeline and
+// service counters for the /metrics endpoint; it must not be nil.
+func New(cfg Config, rec *obs.Recorder) *Server {
+	if cfg.MaxRunning <= 0 {
+		cfg.MaxRunning = 1
+	}
+	if cfg.MaxQueue <= 0 {
+		cfg.MaxQueue = 64
+	}
+	if cfg.KeepJobs <= 0 {
+		cfg.KeepJobs = 1024
+	}
+	ctx, cancel := context.WithCancel(obs.With(context.Background(), rec))
+	return &Server{
+		cfg:       cfg,
+		rec:       rec,
+		cache:     NewCache(rec, cfg.CacheBytes),
+		start:     time.Now(),
+		baseCtx:   ctx,
+		cancelAll: cancel,
+		sem:       make(chan struct{}, cfg.MaxRunning),
+		jobs:      map[string]*Job{},
+	}
+}
+
+// Close cancels every in-flight job and waits for the workers to drain.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.cancelAll()
+	s.wg.Wait()
+}
+
+// Recorder exposes the server-lifetime metrics recorder.
+func (s *Server) Recorder() *obs.Recorder { return s.rec }
+
+// Uptime reports time since construction (the /metrics wall clock).
+func (s *Server) Uptime() time.Duration { return time.Since(s.start) }
+
+// clampWorkers applies the per-job worker budget to a spec.
+func (s *Server) clampWorkers(spec api.JobSpec) api.JobSpec {
+	budget := par.Workers(s.cfg.JobWorkers)
+	if w := par.Workers(spec.Workers); w > budget {
+		spec.Workers = budget
+	} else {
+		spec.Workers = w
+	}
+	return spec
+}
+
+// Submit validates, admits and enqueues a job, returning immediately
+// with its id.  The job runs as soon as a running slot frees up.
+func (s *Server) Submit(spec api.JobSpec) (*Job, error) {
+	spec = s.clampWorkers(spec.Normalized())
+	if err := spec.Validate(); err != nil {
+		s.rec.Add("serve/jobs_rejected", 1)
+		return nil, err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, errors.New("serve: server is shutting down")
+	}
+	if s.queued >= s.cfg.MaxQueue {
+		s.mu.Unlock()
+		s.rec.Add("serve/jobs_rejected", 1)
+		return nil, ErrQueueFull
+	}
+	s.seq++
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	j := &Job{
+		ID:        fmt.Sprintf("job-%06d", s.seq),
+		Spec:      spec,
+		state:     StateQueued,
+		submitted: time.Now(),
+		cancel:    cancel,
+		done:      make(chan struct{}),
+	}
+	s.jobs[j.ID] = j
+	s.order = append(s.order, j.ID)
+	s.queued++
+	s.rec.Set("serve/queue_depth", float64(s.queued))
+	s.mu.Unlock()
+
+	s.rec.Add("serve/jobs_submitted", 1)
+	s.wg.Add(1)
+	go s.run(ctx, j)
+	return j, nil
+}
+
+// run takes the job through admission, execution and completion.
+func (s *Server) run(ctx context.Context, j *Job) {
+	defer s.wg.Done()
+	defer j.cancel()
+	// Admission: wait for a running slot, or for cancellation while
+	// still queued.
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		s.finish(j, nil, ctx.Err())
+		return
+	}
+	defer func() { <-s.sem }()
+	if ctx.Err() != nil {
+		s.finish(j, nil, ctx.Err())
+		return
+	}
+	s.mu.Lock()
+	j.state = StateRunning
+	j.started = time.Now()
+	s.queued--
+	s.rec.Set("serve/queue_depth", float64(s.queued))
+	s.mu.Unlock()
+
+	res, err := s.execute(ctx, j.Spec)
+	s.finish(j, res, err)
+}
+
+// execute resolves the staged artifacts through the cache and runs the
+// solve.  dosePl jobs serialize on the placement lock and restore the
+// cached design's cell positions afterwards.
+func (s *Server) execute(ctx context.Context, spec api.JobSpec) (*api.JobResult, error) {
+	start := time.Now()
+	art, err := s.artifacts(ctx, spec)
+	if err != nil {
+		return nil, err
+	}
+	if spec.DosePl {
+		s.plMu.Lock()
+		defer s.plMu.Unlock()
+		defer restorePlacement(art.Design)()
+	}
+	res, _, err := api.Execute(ctx, art, spec)
+	if err != nil {
+		return nil, err
+	}
+	s.rec.Observe("serve/job_wall", time.Since(start))
+	return res, nil
+}
+
+// finish records the job's terminal state.
+func (s *Server) finish(j *Job, res *api.JobResult, err error) {
+	s.mu.Lock()
+	if j.state == StateQueued {
+		s.queued--
+		s.rec.Set("serve/queue_depth", float64(s.queued))
+	}
+	j.finished = time.Now()
+	switch {
+	case err == nil:
+		j.state = StateDone
+		j.result = res
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		j.state = StateCanceled
+		j.err = err.Error()
+	default:
+		j.state = StateFailed
+		j.err = err.Error()
+	}
+	state := j.state
+	close(j.done)
+	s.gcLocked()
+	s.mu.Unlock()
+	switch state {
+	case StateDone:
+		s.rec.Add("serve/jobs_done", 1)
+	case StateCanceled:
+		s.rec.Add("serve/jobs_canceled", 1)
+	default:
+		s.rec.Add("serve/jobs_failed", 1)
+	}
+}
+
+// gcLocked drops the oldest finished jobs past the registry bound.
+// Caller holds s.mu.
+func (s *Server) gcLocked() {
+	excess := len(s.order) - s.cfg.KeepJobs
+	if excess <= 0 {
+		return
+	}
+	kept := s.order[:0]
+	for _, id := range s.order {
+		j := s.jobs[id]
+		if excess > 0 && j != nil && j.state.Terminal() {
+			delete(s.jobs, id)
+			excess--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+// Get returns a job by id.
+func (s *Server) Get(id string) (*Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j := s.jobs[id]
+	if j == nil {
+		return nil, ErrNotFound
+	}
+	return j, nil
+}
+
+// Cancel requests cancellation of a queued or running job.  Canceling
+// a finished job is a no-op that returns the job.
+func (s *Server) Cancel(id string) (*Job, error) {
+	j, err := s.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	j.cancel()
+	return j, nil
+}
+
+// Wait blocks until the job reaches a terminal state, the timeout
+// elapses, or ctx is done; it always returns the job's current view.
+func (s *Server) Wait(ctx context.Context, j *Job, timeout time.Duration) {
+	if timeout <= 0 {
+		select {
+		case <-j.done:
+		case <-ctx.Done():
+		}
+		return
+	}
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case <-j.done:
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}
+
+// Jobs lists the registry in submission order.
+func (s *Server) Jobs() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, 0, len(s.order))
+	for _, id := range s.order {
+		if j := s.jobs[id]; j != nil {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// --- staged artifact resolution -------------------------------------------
+
+// artifacts resolves the design → golden → model → compiled chain
+// through the byte-budget cache.  Stage keys exclude the worker count:
+// every stage is bit-identical for any worker count (the repo-wide
+// determinism contract), so jobs differing only in budget share
+// artifacts.  A compile served from cache ticks core/compile_hits,
+// mirroring the expt harness, so cache effectiveness is observable at
+// /metrics.
+func (s *Server) artifacts(ctx context.Context, spec api.JobSpec) (api.Artifacts, error) {
+	opt, err := spec.Options()
+	if err != nil {
+		return api.Artifacts{}, err
+	}
+	dKey := spec.DesignKey()
+
+	dv, _, err := s.cache.GetOrBuild(ctx, "design/"+dKey, func(ctx context.Context) (any, int64, error) {
+		p, err := spec.GenPreset()
+		if err != nil {
+			return nil, 0, err
+		}
+		d, err := gen.GenerateCtx(ctx, p)
+		if err != nil {
+			return nil, 0, err
+		}
+		return d, designBytes(d), nil
+	})
+	if err != nil {
+		return api.Artifacts{}, err
+	}
+	d := dv.(*gen.Design)
+
+	gv, _, err := s.cache.GetOrBuild(ctx, "golden/"+dKey, func(ctx context.Context) (any, int64, error) {
+		cfg := opt.STA
+		cfg.Workers = spec.Workers
+		g, err := core.GoldenNominalCtx(ctx, d, cfg)
+		if err != nil {
+			return nil, 0, err
+		}
+		return g, goldenBytes(g), nil
+	})
+	if err != nil {
+		return api.Artifacts{}, err
+	}
+	golden := gv.(*sta.Result)
+
+	mKey := fmt.Sprintf("model/%s/both=%t", dKey, opt.BothLayers)
+	mv, _, err := s.cache.GetOrBuild(ctx, mKey, func(ctx context.Context) (any, int64, error) {
+		m, err := core.FitModelCtx(ctx, golden, opt.BothLayers, spec.Workers)
+		if err != nil {
+			return nil, 0, err
+		}
+		return m, modelBytes(m), nil
+	})
+	if err != nil {
+		return api.Artifacts{}, err
+	}
+	model := mv.(*core.Model)
+
+	co := opt.CompileOptions()
+	cKey := fmt.Sprintf("compiled/%s/%+v", dKey, co)
+	cv, hit, err := s.cache.GetOrBuild(ctx, cKey, func(ctx context.Context) (any, int64, error) {
+		c, err := core.CompileCtx(ctx, golden, model, co)
+		if err != nil {
+			return nil, 0, err
+		}
+		return c, c.ApproxBytes(), nil
+	})
+	if err != nil {
+		return api.Artifacts{}, err
+	}
+	if hit {
+		s.rec.Add("core/compile_hits", 1)
+	}
+	return api.Artifacts{Design: d, Golden: golden, Model: model, Compiled: cv.(*core.Compiled)}, nil
+}
+
+// restorePlacement snapshots a design's placement and returns the
+// restore function (dosePl mutates cell positions in place).
+func restorePlacement(d *gen.Design) func() {
+	x := append([]float64(nil), d.Pl.X...)
+	y := append([]float64(nil), d.Pl.Y...)
+	w := append([]float64(nil), d.Pl.Width...)
+	return func() {
+		copy(d.Pl.X, x)
+		copy(d.Pl.Y, y)
+		copy(d.Pl.Width, w)
+	}
+}
+
+// --- artifact byte costs ---------------------------------------------------
+
+// designBytes approximates a generated design's resident cost: per-gate
+// structure, adjacency and placement slices.
+func designBytes(d *gen.Design) int64 {
+	b := int64(0)
+	for _, g := range d.Circ.Gates {
+		b += 96 + int64(len(g.Name)+len(g.Master)) + 8*int64(len(g.Fanins)+len(g.Fanouts))
+	}
+	b += 8 * 3 * int64(len(d.Pl.X))
+	b += 8 * int64(len(d.Masters))
+	return b
+}
+
+// goldenBytes approximates an analysis result: six per-gate float
+// vectors plus the shared input view.
+func goldenBytes(r *sta.Result) int64 {
+	return 8 * 6 * int64(len(r.AOut))
+}
+
+// modelBytes approximates the fitted coefficient set.
+func modelBytes(m *core.Model) int64 {
+	return 8 * int64(len(m.A)+len(m.B)+len(m.Alpha)+len(m.Beta)+len(m.Gamma))
+}

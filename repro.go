@@ -66,6 +66,12 @@ type (
 	Mode = core.Mode
 	// Timing is a full golden static-timing analysis.
 	Timing = sta.Result
+	// QPRequest describes one leakage-minimization solve (SolveQP).
+	QPRequest = core.QPRequest
+	// QCPRequest describes one clock-period-minimization solve (SolveQCP).
+	QCPRequest = core.QCPRequest
+	// FlowRequest describes one end-to-end Fig. 7 run (SolveFlow).
+	FlowRequest = core.FlowRequest
 )
 
 // Flow modes.
@@ -127,28 +133,46 @@ func FitModelCtx(ctx context.Context, t *Timing, bothLayers bool, workers int) (
 	return core.FitModelCtx(ctx, t, bothLayers, workers)
 }
 
-// RunQP minimizes Δleakage subject to MCT ≤ tauPs (Section III QP).
-func RunQP(t *Timing, m *Model, opt Options, tauPs float64) (*Result, error) {
-	return core.DMoptQP(t, m, opt, tauPs)
+// SolveQP is the ctx-first QP entry point: minimize Δleakage subject to
+// MCT ≤ req.TauPs (Section III QP).
+func SolveQP(ctx context.Context, req QPRequest) (*Result, error) {
+	return core.SolveQP(ctx, req)
 }
 
-// RunQPCtx is RunQP with cancellation: a canceled context aborts the
-// cut rounds / ADMM iterations in flight with an error wrapping
-// context.Canceled.  Set opt.Workers to bound the solver's fan-out.
+// SolveQCP is the ctx-first QCP entry point: minimize the clock period
+// subject to Δleakage ≤ req.Opt.XiNW (Section III QCP, solved by
+// bisection over the QP).
+func SolveQCP(ctx context.Context, req QCPRequest) (*Result, error) {
+	return core.SolveQCP(ctx, req)
+}
+
+// RunQP minimizes Δleakage subject to MCT ≤ tauPs (Section III QP).
+//
+// Deprecated: use SolveQP.
+func RunQP(t *Timing, m *Model, opt Options, tauPs float64) (*Result, error) {
+	return core.SolveQP(context.Background(), QPRequest{Golden: t, Model: m, Opt: opt, TauPs: tauPs})
+}
+
+// RunQPCtx is RunQP with cancellation.
+//
+// Deprecated: use SolveQP.
 func RunQPCtx(ctx context.Context, t *Timing, m *Model, opt Options, tauPs float64) (*Result, error) {
-	return core.DMoptQPCtx(ctx, t, m, opt, tauPs)
+	return core.SolveQP(ctx, QPRequest{Golden: t, Model: m, Opt: opt, TauPs: tauPs})
 }
 
 // RunQCP minimizes the clock period subject to Δleakage ≤ opt.XiNW
 // (Section III QCP, solved by bisection over the QP).
+//
+// Deprecated: use SolveQCP.
 func RunQCP(t *Timing, m *Model, opt Options) (*Result, error) {
-	return core.DMoptQCP(t, m, opt)
+	return core.SolveQCP(context.Background(), QCPRequest{Golden: t, Model: m, Opt: opt})
 }
 
-// RunQCPCtx is RunQCP with cancellation: a canceled context aborts the
-// bisection probe in flight with an error wrapping context.Canceled.
+// RunQCPCtx is RunQCP with cancellation.
+//
+// Deprecated: use SolveQCP.
 func RunQCPCtx(ctx context.Context, t *Timing, m *Model, opt Options) (*Result, error) {
-	return core.DMoptQCPCtx(ctx, t, m, opt)
+	return core.SolveQCP(ctx, QCPRequest{Golden: t, Model: m, Opt: opt})
 }
 
 // RunDosePl runs the cell-swapping placement rounds on an optimized
@@ -165,15 +189,26 @@ func RunDosePlCtx(ctx context.Context, t *Timing, r *Result, opt Options, dopt D
 	return core.DosePlCtx(ctx, t, r.Layers, opt, dopt)
 }
 
-// RunFlow executes the full Fig. 7 pipeline.
-func RunFlow(d *Design, cfg FlowConfig) (*FlowOutcome, error) { return core.Run(d, cfg) }
-
-// RunFlowCtx is RunFlow with cancellation: a canceled context aborts
-// whichever stage is in flight with an error wrapping context.Canceled.
-// Set cfg.Opt.Workers to bound every stage's fan-out; results are
+// SolveFlow is the ctx-first end-to-end entry point: it executes the
+// full Fig. 7 pipeline described by the request.  Set
+// req.Config.Opt.Workers to bound every stage's fan-out; results are
 // bit-identical for every worker count.
+func SolveFlow(ctx context.Context, req FlowRequest) (*FlowOutcome, error) {
+	return core.SolveFlow(ctx, req)
+}
+
+// RunFlow executes the full Fig. 7 pipeline.
+//
+// Deprecated: use SolveFlow.
+func RunFlow(d *Design, cfg FlowConfig) (*FlowOutcome, error) {
+	return core.SolveFlow(context.Background(), FlowRequest{Design: d, Config: cfg})
+}
+
+// RunFlowCtx is RunFlow with cancellation.
+//
+// Deprecated: use SolveFlow.
 func RunFlowCtx(ctx context.Context, d *Design, cfg FlowConfig) (*FlowOutcome, error) {
-	return core.RunCtx(ctx, d, cfg)
+	return core.SolveFlow(ctx, FlowRequest{Design: d, Config: cfg})
 }
 
 // Harness is the experiment context that regenerates the paper's tables

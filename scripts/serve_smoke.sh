@@ -1,0 +1,68 @@
+#!/bin/sh
+# Smoke-test the dmopt-serve daemon: boot it on an ephemeral port,
+# submit one scale-0.15 AES-65 job through the synchronous endpoint,
+# require HTTP 200 with a dmopt-job/v1 result, require a dmopt-bench/v1
+# /metrics report, then shut the daemon down cleanly.
+#
+# Usage: scripts/serve_smoke.sh path/to/dmopt-serve
+set -eu
+
+BIN=${1:?usage: serve_smoke.sh path/to/dmopt-serve}
+ADDR=127.0.0.1:18080
+BASE=http://$ADDR
+
+"$BIN" -addr "$ADDR" -max-running 1 -cache-mb 64 &
+PID=$!
+trap 'kill "$PID" 2>/dev/null || true' EXIT
+
+# Wait for the listener (up to ~10 s).
+i=0
+until curl -sf "$BASE/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "serve-smoke: daemon never became healthy" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+BODY=$(mktemp)
+trap 'kill "$PID" 2>/dev/null || true; rm -f "$BODY"' EXIT
+
+CODE=$(curl -s -o "$BODY" -w '%{http_code}' "$BASE/v1/solve" \
+    -d '{"design":"AES-65","scale":0.15}')
+if [ "$CODE" != 200 ]; then
+    echo "serve-smoke: /v1/solve returned $CODE:" >&2
+    cat "$BODY" >&2
+    exit 1
+fi
+grep -q '"schema": "dmopt-job/v1"' "$BODY" || {
+    echo "serve-smoke: result is not a dmopt-job/v1 document:" >&2
+    cat "$BODY" >&2
+    exit 1
+}
+grep -q '"solver_status"' "$BODY" || {
+    echo "serve-smoke: result misses solver status:" >&2
+    cat "$BODY" >&2
+    exit 1
+}
+
+CODE=$(curl -s -o "$BODY" -w '%{http_code}' "$BASE/metrics")
+if [ "$CODE" != 200 ]; then
+    echo "serve-smoke: /metrics returned $CODE" >&2
+    exit 1
+fi
+grep -q '"schema": "dmopt-bench/v1"' "$BODY" || {
+    echo "serve-smoke: metrics is not a dmopt-bench/v1 report:" >&2
+    cat "$BODY" >&2
+    exit 1
+}
+grep -q '"serve/jobs_done": 1' "$BODY" || {
+    echo "serve-smoke: job completion not visible in metrics:" >&2
+    cat "$BODY" >&2
+    exit 1
+}
+
+kill "$PID"
+wait "$PID" 2>/dev/null || true
+echo "serve-smoke: OK (solve 200, metrics report, clean shutdown)"
