@@ -23,6 +23,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -35,7 +36,7 @@ import (
 )
 
 func main() {
-	addr := flag.String("addr", ":8080", "listen address")
+	addr := flag.String("addr", ":8080", "listen address (:0 picks a free port; the resolved address is printed)")
 	maxRunning := flag.Int("max-running", 2, "concurrently executing jobs")
 	maxQueue := flag.Int("max-queue", 64, "admission queue bound; overflow is rejected with 429")
 	cacheMB := flag.Int("cache-mb", 512, "artifact cache budget in MiB; 0 = unbounded")
@@ -54,11 +55,15 @@ func main() {
 		KeepJobs:   *keepJobs,
 	}, rec)
 
-	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	// Listen before announcing so -addr :0 resolves to the actual port;
+	// scripts parse the "listening on" line to find the server.
+	ln, err := net.Listen("tcp", *addr)
+	com.Check(err)
+	hs := &http.Server{Handler: srv.Handler()}
 	errc := make(chan error, 1)
-	go func() { errc <- hs.ListenAndServe() }()
+	go func() { errc <- hs.Serve(ln) }()
 	fmt.Fprintf(os.Stderr, "dmopt-serve: listening on %s (max-running %d, queue %d, cache %d MiB)\n",
-		*addr, *maxRunning, *maxQueue, *cacheMB)
+		ln.Addr(), *maxRunning, *maxQueue, *cacheMB)
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)

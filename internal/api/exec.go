@@ -69,11 +69,34 @@ func PrepareFrom(ctx context.Context, d *gen.Design, spec JobSpec) (Artifacts, e
 	return Artifacts{Design: d, Golden: golden, Model: model, Compiled: comp}, nil
 }
 
+// WithPrivatePlacement returns artifacts whose golden analysis views a
+// deep copy of the placement coordinate slices.  A dosePl Execute
+// mutates cell positions in place through golden.In.Pl; callers that
+// share artifacts across concurrent jobs (the server cache) hand each
+// dosePl job a private copy so no other reader of the cached design —
+// golden/compile rebuilds, solve-stage signoff — can observe the
+// mutation.  The copied coordinates are value-identical to the
+// originals, so the results stay bit-identical to the shared path.
+func (a Artifacts) WithPrivatePlacement() Artifacts {
+	if a.Golden == nil || a.Golden.In.Pl == nil {
+		return a
+	}
+	pl := *a.Golden.In.Pl
+	pl.X = append([]float64(nil), pl.X...)
+	pl.Y = append([]float64(nil), pl.Y...)
+	pl.Width = append([]float64(nil), pl.Width...)
+	g := *a.Golden
+	g.In.Pl = &pl
+	a.Golden = &g
+	return a
+}
+
 // Execute runs the solve stage(s) a spec describes against prepared
 // artifacts and assembles the versioned result.  When spec.DosePl is
-// set the design's placement is mutated in place (accepted swap
-// rounds); callers sharing designs across jobs must serialize and
-// restore around Execute.
+// set the placement inside art.Golden.In is mutated in place (accepted
+// swap rounds); callers sharing artifacts across concurrent jobs must
+// pass WithPrivatePlacement artifacts (or serialize and restore around
+// Execute).
 func Execute(ctx context.Context, art Artifacts, spec JobSpec) (*JobResult, *core.FlowOutcome, error) {
 	spec = spec.Normalized()
 	if art.Golden == nil || art.Compiled == nil {

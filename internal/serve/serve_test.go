@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -14,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/api"
+	"repro/internal/gen"
 	"repro/internal/obs"
 )
 
@@ -193,6 +195,103 @@ func TestHTTPErrors(t *testing.T) {
 	if resp := getJSON(t, ts.URL+"/healthz", &ok); resp.StatusCode != http.StatusOK || ok["status"] != "ok" {
 		t.Fatalf("healthz: %d %v", resp.StatusCode, ok)
 	}
+}
+
+// TestDosePlPrivatePlacement: dosePl jobs mutate cell positions, so
+// the server runs them on a private placement copy
+// (api.Artifacts.WithPrivatePlacement).  The cached design — which
+// concurrent jobs on the same design read through golden/compile
+// rebuilds and solve-stage signoff — must stay bit-identical across a
+// dosePl job, and the job's numbers must still match the direct CLI
+// path (which mutates its own fresh design in place).
+func TestDosePlPrivatePlacement(t *testing.T) {
+	srv, ts, _ := newTestServer(t, Config{MaxRunning: 1})
+	spec := testSpec()
+	spec.DosePl = true
+
+	resp, body := postJSON(t, ts.URL+"/v1/solve", spec)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("dosePl solve: %d %s", resp.StatusCode, body)
+	}
+	var res api.JobResult
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatalf("solve body: %v", err)
+	}
+	if res.DosePl == nil {
+		t.Fatal("dosePl job returned no placement summary")
+	}
+
+	// The cached design must still hold the original (pre-dosePl)
+	// coordinates: rebuild them from a fresh generation and compare.
+	dv, hit, err := srv.cache.GetOrBuild(context.Background(), "design/"+spec.DesignKey(),
+		func(context.Context) (any, int64, error) {
+			return nil, 0, fmt.Errorf("cached design missing")
+		})
+	if err != nil || !hit {
+		t.Fatalf("cached design lookup: hit=%v err=%v", hit, err)
+	}
+	cached := dv.(*gen.Design)
+	p, err := spec.GenPreset()
+	if err != nil {
+		t.Fatalf("preset: %v", err)
+	}
+	fresh, err := gen.GenerateCtx(context.Background(), p)
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	for i := range fresh.Pl.X {
+		if math.Float64bits(cached.Pl.X[i]) != math.Float64bits(fresh.Pl.X[i]) ||
+			math.Float64bits(cached.Pl.Y[i]) != math.Float64bits(fresh.Pl.Y[i]) ||
+			math.Float64bits(cached.Pl.Width[i]) != math.Float64bits(fresh.Pl.Width[i]) {
+			t.Fatalf("cached placement mutated at gate %d: (%v,%v,%v) != (%v,%v,%v)",
+				i, cached.Pl.X[i], cached.Pl.Y[i], cached.Pl.Width[i],
+				fresh.Pl.X[i], fresh.Pl.Y[i], fresh.Pl.Width[i])
+		}
+	}
+
+	ref, _, err := api.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatalf("direct dosePl run: %v", err)
+	}
+	if got, want := resultFingerprint(t, &res), resultFingerprint(t, ref); got != want {
+		t.Fatalf("dosePl result differs from direct path:\n  http   %s\n  direct %s", got, want)
+	}
+}
+
+// TestDosePlConcurrentCompile reproduces the aliasing hazard the
+// private placement copy removes: with two running slots, a dosePl job
+// overlaps a same-design job whose compile stage rebuilds (distinct
+// CompileOptions key) and therefore reads the cached placement.  Both
+// must succeed, and under -race the overlap must be write-free.
+func TestDosePlConcurrentCompile(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{MaxRunning: 2})
+	dosePl := testSpec()
+	dosePl.DosePl = true
+	rebuild := testSpec()
+	rebuild.Delta = 3 // distinct compile key → rebuild reads the shared placement
+
+	var wg sync.WaitGroup
+	for _, spec := range []api.JobSpec{dosePl, rebuild} {
+		b, err := json.Marshal(spec)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/solve", "application/json", bytes.NewReader(b))
+			if err != nil {
+				t.Errorf("POST /v1/solve: %v", err)
+				return
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("solve: %d %s", resp.StatusCode, body)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // holdKey occupies a cache key so any job needing it blocks inside the

@@ -100,12 +100,6 @@ type Server struct {
 	sem       chan struct{}
 	wg        sync.WaitGroup
 
-	// plMu serializes dosePl jobs: they mutate a cached design's
-	// placement in place and restore it afterwards (the expt harness
-	// discipline), so they must not overlap each other or concurrent
-	// readers of the same design's placement.
-	plMu sync.Mutex
-
 	mu     sync.Mutex
 	closed bool
 	jobs   map[string]*Job
@@ -197,10 +191,13 @@ func (s *Server) Submit(spec api.JobSpec) (*Job, error) {
 	s.order = append(s.order, j.ID)
 	s.queued++
 	s.rec.Set("serve/queue_depth", float64(s.queued))
+	// The Add must happen under the mutex that guards closed: Close sets
+	// closed and only then waits, so a submission past the closed check
+	// is always counted before Close's wg.Wait can observe zero.
+	s.wg.Add(1)
 	s.mu.Unlock()
 
 	s.rec.Add("serve/jobs_submitted", 1)
-	s.wg.Add(1)
 	go s.run(ctx, j)
 	return j, nil
 }
@@ -234,8 +231,10 @@ func (s *Server) run(ctx context.Context, j *Job) {
 }
 
 // execute resolves the staged artifacts through the cache and runs the
-// solve.  dosePl jobs serialize on the placement lock and restore the
-// cached design's cell positions afterwards.
+// solve.  dosePl jobs mutate cell positions in place, so they run on a
+// private copy of the placement: the cached design — which concurrent
+// jobs on the same design read through golden/compile rebuilds and
+// solve-stage signoff — is never written after it is built.
 func (s *Server) execute(ctx context.Context, spec api.JobSpec) (*api.JobResult, error) {
 	start := time.Now()
 	art, err := s.artifacts(ctx, spec)
@@ -243,9 +242,7 @@ func (s *Server) execute(ctx context.Context, spec api.JobSpec) (*api.JobResult,
 		return nil, err
 	}
 	if spec.DosePl {
-		s.plMu.Lock()
-		defer s.plMu.Unlock()
-		defer restorePlacement(art.Design)()
+		art = art.WithPrivatePlacement()
 	}
 	res, _, err := api.Execute(ctx, art, spec)
 	if err != nil {
@@ -437,19 +434,6 @@ func (s *Server) artifacts(ctx context.Context, spec api.JobSpec) (api.Artifacts
 		s.rec.Add("core/compile_hits", 1)
 	}
 	return api.Artifacts{Design: d, Golden: golden, Model: model, Compiled: cv.(*core.Compiled)}, nil
-}
-
-// restorePlacement snapshots a design's placement and returns the
-// restore function (dosePl mutates cell positions in place).
-func restorePlacement(d *gen.Design) func() {
-	x := append([]float64(nil), d.Pl.X...)
-	y := append([]float64(nil), d.Pl.Y...)
-	w := append([]float64(nil), d.Pl.Width...)
-	return func() {
-		copy(d.Pl.X, x)
-		copy(d.Pl.Y, y)
-		copy(d.Pl.Width, w)
-	}
 }
 
 // --- artifact byte costs ---------------------------------------------------

@@ -8,26 +8,42 @@
 set -eu
 
 BIN=${1:?usage: serve_smoke.sh path/to/dmopt-serve}
-ADDR=127.0.0.1:18080
+
+# Bind port 0 so the kernel picks a free port; the daemon prints the
+# resolved address on stderr, which we parse to find the server.
+LOG=$(mktemp)
+"$BIN" -addr 127.0.0.1:0 -max-running 1 -cache-mb 64 2>"$LOG" &
+PID=$!
+trap 'kill "$PID" 2>/dev/null || true; rm -f "$LOG"' EXIT
+
+# Wait for the resolved listen address, then for liveness (up to ~10 s).
+i=0
+ADDR=
+while [ -z "$ADDR" ]; do
+    ADDR=$(sed -n 's/^dmopt-serve: listening on \([^ ]*\).*/\1/p' "$LOG")
+    [ -n "$ADDR" ] && break
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "serve-smoke: daemon never announced its address" >&2
+        cat "$LOG" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
 BASE=http://$ADDR
 
-"$BIN" -addr "$ADDR" -max-running 1 -cache-mb 64 &
-PID=$!
-trap 'kill "$PID" 2>/dev/null || true' EXIT
-
-# Wait for the listener (up to ~10 s).
-i=0
 until curl -sf "$BASE/healthz" >/dev/null 2>&1; do
     i=$((i + 1))
     if [ "$i" -gt 100 ]; then
         echo "serve-smoke: daemon never became healthy" >&2
+        cat "$LOG" >&2
         exit 1
     fi
     sleep 0.1
 done
 
 BODY=$(mktemp)
-trap 'kill "$PID" 2>/dev/null || true; rm -f "$BODY"' EXIT
+trap 'kill "$PID" 2>/dev/null || true; rm -f "$LOG" "$BODY"' EXIT
 
 CODE=$(curl -s -o "$BODY" -w '%{http_code}' "$BASE/v1/solve" \
     -d '{"design":"AES-65","scale":0.15}')
