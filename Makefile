@@ -34,11 +34,13 @@ bench:
 # span timings, solver iteration and gate-eval counters, linear-system
 # backend).  Built as a binary (not `go run`) so the toolchain stamps
 # vcs.revision into the report's git_rev field.  Also runs the CG vs
-# LDLᵀ micro-benchmark on the cut-pool matrix.
+# LDLᵀ micro-benchmark on the cut-pool matrix, the parallel numeric
+# factorization sweep, and the τ-Newton bisection benchmark.
 bench-json:
-	$(GO) test ./internal/core/ -run '^$$' -bench LinSys -benchtime 3x
+	$(GO) test ./internal/core/ -run '^$$' -bench 'LinSys|TauNewton' -benchtime 3x
+	$(GO) test ./internal/qp/ -run '^$$' -bench LDLTParallelFactor -benchtime 20x
 	$(GO) build -o tables.bin ./cmd/tables
-	./tables.bin -scale 0.15 -k 2000 -which iv -bench-json BENCH_pr6.json
+	./tables.bin -scale 0.15 -k 2000 -which iv -bench-json BENCH_pr7.json
 	rm -f tables.bin
 
 # End-to-end service smoke: boot dmopt-serve, run one scale-0.15 job

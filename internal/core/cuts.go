@@ -110,6 +110,19 @@ type cutSolver struct {
 
 	rounds, solves int
 
+	// Tangent information of the most recent converged cut round: the
+	// probed clock period, the model objective there, and the derivative
+	// estimate dminLeak/dτ = −Σ y_i over the cut rows (each cut's upper
+	// bound is τ − nom, so the bound moves one-for-one with τ and the
+	// dual sum prices the move).  The QCP outer loop turns this into a
+	// warm-started Newton/secant step on τ; tangentOK is false until a
+	// round converges and is reset at every solveTau entry, so stale
+	// probes never feed a step.
+	tangentTau   float64
+	tangentObj   float64
+	tangentSlope float64
+	tangentOK    bool
+
 	// rec is the telemetry recorder, refreshed from the context at each
 	// solveTau entry (ensure has no context of its own).
 	rec *obs.Recorder
@@ -139,12 +152,33 @@ func (cs *cutSolver) resetSolver() {
 	cs.builtCuts = 0
 }
 
-// adopt takes over the iterate and dual state of a finished probe clone
-// (the speculative bisection winner).
+// adopt takes over the iterate, dual and tangent state of a finished
+// probe clone (the speculative bisection winner).
 func (cs *cutSolver) adopt(p *cutSolver) {
 	copy(cs.x, p.x)
 	cs.y = append(cs.y[:0], p.y...)
+	cs.tangentTau, cs.tangentObj = p.tangentTau, p.tangentObj
+	cs.tangentSlope, cs.tangentOK = p.tangentSlope, p.tangentOK
 	cs.resetSolver()
+}
+
+// newtonCandidate extrapolates the clock period where the leakage
+// budget ξ is met exactly, from the last converged round's tangent:
+// τ* ≈ τ_p + (ξ − obj_p)/slope_p.  minLeak(τ) is convex and
+// non-increasing, so with exact solves the tangent root is a LOWER
+// bound on the true τ* — the outer loop probes candidate + guard and
+// may raise its lower bracket to the candidate when the probe lands
+// feasible.  Reports false when no tangent is available or the slope
+// is not usefully negative (no active cuts: τ does not bind).
+func (cs *cutSolver) newtonCandidate(xiNW float64) (float64, bool) {
+	if !cs.tangentOK || !(cs.tangentSlope < 0) {
+		return 0, false
+	}
+	cand := cs.tangentTau + (xiNW-cs.tangentObj)/cs.tangentSlope
+	if math.IsNaN(cand) || math.IsInf(cand, 0) {
+		return 0, false
+	}
+	return cand, true
 }
 
 // ensure makes the persistent solver match (tau, cuts) and warm-starts
@@ -230,6 +264,21 @@ func (cs *cutSolver) ensure(tau float64, cuts []cut) error {
 // warm start.
 func (cs *cutSolver) saveDuals(y []float64) {
 	cs.y = append(cs.y[:0], y...)
+}
+
+// recordTangent captures the (τ, obj, dObj/dτ) tangent of a converged
+// round.  Cut rows sit after the fixed box/smoothness prefix and their
+// upper bounds are τ − nom, so the value-function derivative is the
+// negated dual sum over exactly those rows (duals of one-sided upper
+// bounds are nonnegative, hence the slope is ≤ 0, matching a
+// non-increasing minLeak).
+func (cs *cutSolver) recordTangent(tau, obj float64, y []float64) {
+	slope := 0.0
+	for i := cs.comp.fixedA.M; i < len(y); i++ {
+		slope -= y[i]
+	}
+	cs.tangentTau, cs.tangentObj = tau, obj
+	cs.tangentSlope, cs.tangentOK = slope, true
 }
 
 // newCutSolverCompiled wires a run view onto a shared artifact.  The
@@ -367,6 +416,7 @@ func (cs *cutSolver) buildProblem(tau float64, cuts []cut) *qp.Problem {
 // context.Canceled.
 func (cs *cutSolver) solveTau(ctx context.Context, tau, xiNW float64) (obj float64, feasible bool, err error) {
 	cs.rec = obs.From(ctx)
+	cs.tangentOK = false // only a converged round of THIS probe may feed a Newton step
 	c := cs.comp
 	opt := cs.opt
 	tolPs := opt.CutTolPs
@@ -437,13 +487,15 @@ func (cs *cutSolver) solveTau(ctx context.Context, tau, xiNW float64) (obj float
 		for j := 0; j < cs.nVar; j++ {
 			cs.x[j] = clamp(cs.x[j], opt.DoseLo, opt.DoseHi)
 		}
-		if o := cs.objective(cs.x); o > xiNW+xiToleranceLeak(c.nomLeakUW, xiNW) {
+		o := cs.objective(cs.x)
+		cs.recordTangent(tau, o, res.Y)
+		if o > xiNW+xiToleranceLeak(c.nomLeakUW, xiNW) {
 			return o, false, nil
 		}
 		delta := cs.deltaFn(cs.x)
 		_, mct := linearArrivalsOrder(c.Golden, c.order, delta)
 		if mct <= tau+tolPs {
-			return cs.objective(cs.x), true, nil
+			return o, true, nil
 		}
 		// Generate violated path cuts.
 		arcFn := func(from, to int) float64 {
@@ -479,7 +531,7 @@ func (cs *cutSolver) solveTau(ctx context.Context, tau, xiNW float64) (obj float
 			// All violating paths already cut but the QP solution still
 			// violates: solver tolerance floor.  Accept if close.
 			if mct <= tau+5*tolPs {
-				return cs.objective(cs.x), true, nil
+				return o, true, nil
 			}
 			return 0, false, fmt.Errorf("core: cut generation stalled at τ=%.1f (mct %.1f)", tau, mct)
 		}

@@ -86,6 +86,17 @@ func TestObsEnabledBitwiseInert(t *testing.T) {
 			t.Errorf("telemetry counter %s empty in enabled run", c)
 		}
 	}
+	// Every bisection iteration is either a Newton/secant step or a
+	// bisection fallback, so the τ-probe counters cannot both be empty;
+	// likewise every LDLᵀ x-step either factors a fresh (ρ, epoch) pair
+	// or restores a cached one.  (Zero-valued counters are never
+	// recorded, so absence is the failure signature here.)
+	if snap.Counters["core/tau_newton_steps"]+snap.Counters["core/tau_bisect_fallbacks"] == 0 {
+		t.Error("no τ-probe step counters recorded in enabled run")
+	}
+	if snap.Counters["qp/factorizations"]+snap.Counters["qp/factor_cache_hits"] == 0 {
+		t.Error("no LDLᵀ factor counters recorded in enabled run")
+	}
 	if len(snap.Spans) == 0 {
 		t.Error("no spans recorded in enabled run")
 	}

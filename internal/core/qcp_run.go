@@ -146,10 +146,20 @@ func qcpByCuts(ctx context.Context, c *Compiled, opt Options, tLo, tHi float64, 
 	probes := 0
 	lo, hi := tLo, tHi
 
+	// Secant state: the last two feasible probe evaluations (τ, minLeak),
+	// most recent last.  When the dual-based tangent is useless — early
+	// probes bind few cuts, so the local slope extrapolates the frontier
+	// far below the bracket — the secant through two actual evaluations
+	// still tracks how minLeak steepens as the cut pool grows, and under
+	// convexity its downward extrapolation lower-bounds τ* exactly like
+	// the tangent root does.
+	type tauEval struct{ tau, obj float64 }
+	var feasPrev, feasLast tauEval
+
 	// probe solves one clock-period candidate and reports whether it
 	// fits the leakage budget; solver trouble counts as infeasible
 	// rather than aborting the whole bisection, but cancellation
-	// propagates.
+	// propagates.  Feasible evaluations feed the secant state.
 	probe := func(s *cutSolver, tau float64) (bool, error) {
 		obj, feasible, err := s.solveTau(ctx, tau, opt.XiNW)
 		if err != nil {
@@ -158,7 +168,27 @@ func qcpByCuts(ctx context.Context, c *Compiled, opt Options, tLo, tHi float64, 
 			}
 			return false, nil
 		}
-		return feasible && obj <= opt.XiNW+xiTol, nil
+		ok := feasible && obj <= opt.XiNW+xiTol
+		if ok && s == cs {
+			feasPrev, feasLast = feasLast, tauEval{tau, obj}
+		}
+		return ok, nil
+	}
+
+	// secantCandidate extrapolates the two stored feasible evaluations
+	// down to where the leakage budget binds.  Both points sit on the
+	// feasible side (obj < ξ), so the chord's root below them is a
+	// convexity-certified lower bound on τ*, same as the tangent root.
+	secantCandidate := func() (float64, bool) {
+		if feasPrev.tau <= feasLast.tau || feasLast.obj <= feasPrev.obj {
+			return 0, false
+		}
+		slope := (feasLast.obj - feasPrev.obj) / (feasLast.tau - feasPrev.tau)
+		cand := feasLast.tau + (opt.XiNW-feasLast.obj)/slope
+		if math.IsNaN(cand) || math.IsInf(cand, 0) {
+			return 0, false
+		}
+		return cand, true
 	}
 
 	// First probe at the nominal period must be feasible.
@@ -208,6 +238,22 @@ func qcpByCuts(ctx context.Context, c *Compiled, opt Options, tLo, tHi float64, 
 		}
 	}
 
+	// Main loop: warm-started Newton on τ with bisection as the
+	// safeguard.  Each converged probe leaves a tangent of the value
+	// function minLeak(τ) behind (objective + cut-row dual sum); its
+	// root extrapolates where the leakage budget binds exactly.
+	// minLeak is convex non-increasing, so with exact solves the
+	// tangent root lower-bounds the optimum: the step probes
+	// candidate + guard (landing just inside the feasible side) and a
+	// feasible hit both drops hi to the probe and raises lo to the
+	// candidate, collapsing the bracket in one round trip instead of a
+	// log₂ cascade.  A candidate outside the central band of the
+	// bracket (stale tangent, flat slope, inexact duals) falls back to
+	// plain bisection — which also bounds the worst case, since every
+	// accepted probe shrinks the bracket by ≥ 5%.
+	guard := 0.5 * opt.BisectTol * golden.MCT
+	newtonSteps, bisectFallbacks := 0, 0
+	floorTried := false
 	speculative := opt.Speculate && par.Workers(opt.Workers) > 1
 	for probes < opt.MaxProbes && (hi-lo) > opt.BisectTol*golden.MCT {
 		if speculative && opt.MaxProbes-probes >= 2 {
@@ -244,23 +290,68 @@ func qcpByCuts(ctx context.Context, c *Compiled, opt Options, tLo, tHi float64, 
 			}
 			continue
 		}
-		mid := 0.5 * (lo + hi)
-		ok, err := probe(cs, mid)
+		t, candLo, newton := 0.0, 0.0, false
+		inBand := func(tn float64) bool {
+			w := hi - lo
+			return tn > lo+0.05*w && tn < hi-0.05*w
+		}
+		nc, nok := cs.newtonCandidate(opt.XiNW)
+		sc, sok := secantCandidate()
+		switch {
+		case nok && inBand(nc+guard):
+			t, candLo, newton = nc+guard, nc, true
+		case sok && inBand(sc+guard):
+			t, candLo, newton = sc+guard, sc, true
+		case (nok && nc+guard <= lo+0.05*(hi-lo) || sok && sc+guard <= lo+0.05*(hi-lo)) && !floorTried:
+			// Both model candidates certify a lower bound at or below the
+			// bracket floor: the budget looks slack on the whole interval
+			// and bisection would spend log₂(w/tol) feasible probes
+			// marching hi down to lo.  Probe just above the floor instead —
+			// a feasible hit collapses the bracket to the guard width in
+			// one step.  One attempt per run: a miss costs a single probe
+			// and hands back to bisection.
+			floorTried = true
+			cand := lo
+			if nok && nc > cand {
+				cand = nc
+			}
+			if sok && sc > cand {
+				cand = sc
+			}
+			t, candLo, newton = cand+guard, cand, true
+		}
+		if newton {
+			newtonSteps++
+		} else {
+			t = 0.5 * (lo + hi)
+			bisectFallbacks++
+		}
+		ok, err := probe(cs, t)
 		probes++
 		if err != nil {
 			return nil, err
 		}
 		if ok {
-			hi = mid
+			hi = t
 			bestX = append(bestX[:0], cs.x...)
+			if newton && candLo > lo {
+				// Convexity certifies the tangent root as a lower bound
+				// on τ*, so a feasible Newton probe closes the bracket
+				// from BOTH sides (to the guard width).  Correctness
+				// does not ride on it: the answer returned is always a
+				// probed-feasible hi.
+				lo = candLo
+			}
 		} else {
-			lo = mid
+			lo = t
 		}
 	}
 	if bestX == nil {
 		return nil, errors.New("core: QCP bisection found no feasible clock period")
 	}
 	obs.Add(ctx, "core/qcp_probes", int64(probes))
+	obs.Add(ctx, "core/tau_newton_steps", int64(newtonSteps))
+	obs.Add(ctx, "core/tau_bisect_fallbacks", int64(bisectFallbacks))
 	copy(cs.x, bestX)
 	r, err := cs.result(ctx, probes)
 	if err != nil {

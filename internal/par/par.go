@@ -170,6 +170,49 @@ func Map[T any](ctx context.Context, n, workers int, f func(i int) (T, error)) (
 	return out, nil
 }
 
+// DoWorker runs f(worker, i) for every i in [0, n) on at most workers
+// goroutines, passing each invocation the stable index of the worker
+// executing it (0 ≤ worker < effective workers).  The worker index
+// exists so callers can hand each goroutine private scratch memory (a
+// dense workspace per factorization worker, say); the RESULT of f must
+// not depend on it, and f must write only state owned by item i — then
+// the output is bit-identical for every worker count, including the
+// inline workers == 1 path.  Unlike Do there is no error or context
+// plumbing: DoWorker is for small fixed-shape kernels (one level set of
+// an elimination tree) where items cannot fail individually and
+// cancellation is handled between calls.
+func DoWorker(n, workers int, f func(worker, i int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			f(0, i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				f(worker, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
 // SumBlockSize is the fixed reduction-block length of SumBlocks.  It is
 // a package constant — never derived from the worker count — so the
 // floating-point reduction tree is identical for every worker count.

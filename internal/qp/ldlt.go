@@ -18,16 +18,28 @@
 // hot path: the cut QP's KKT matrix is τ-invariant, so whole bisection
 // probes run on a single factor.
 //
-// The numeric kernel is the up-looking algorithm of Davis's LDL
-// (a row of L per step via a sparse triangular solve along the
-// elimination tree), implemented from scratch: no pivoting is needed
-// because K is symmetric positive definite for σ > 0, ρ > 0.
+// The numeric kernel is a LEFT-LOOKING per-column factorization over a
+// pattern that the symbolic phase makes fully explicit: column k of L
+// is assembled from the lower column k of K minus one update per
+// nonzero of row k of L, each update reading only columns that are
+// proper descendants of k in the elimination tree.  Because the
+// per-column accumulation order is fixed by the precomputed row-major
+// view of L (ascending source column, then ascending position), the
+// result is bit-identical no matter how columns are scheduled — which
+// is what lets the numeric phase and both triangular solves run in
+// parallel across elimination-tree LEVEL SETS (all columns of equal
+// etree height are mutually independent) while keeping the package-wide
+// determinism contract: identical bits for workers 1..N.  No pivoting
+// is needed because K is symmetric positive definite for σ > 0, ρ > 0.
 package qp
 
 import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync/atomic"
+
+	"repro/internal/par"
 )
 
 // ldltFactor holds the symbolic analysis and, after Refactor, the
@@ -54,17 +66,56 @@ type ldltFactor struct {
 	lnz    []int
 	lp     []int // column pointers of L, len n+1
 
-	// Numeric factors: strictly lower L (CSC) and diagonal D.
+	// Numeric factors: strictly lower L (CSC, rows sorted ascending
+	// within a column — li is filled symbolically, so only lx and d
+	// change between refactorizations) and diagonal D.
 	li []int
 	lx []float64
 	d  []float64
 
-	// Scratch reused across factorizations and solves.
-	flag    []int
-	pattern []int
-	y       []float64
-	w       []float64
-	lnzRow  []int // per-column running fill during numeric phase
+	// Row-major view of the strictly lower L: row k holds the columns
+	// j < k with L[k,j] ≠ 0 (ascending j) and, aligned, the position of
+	// that entry inside li/lx.  This is both the update list of the
+	// left-looking numeric kernel and the gather list of the pull-mode
+	// forward solve.  rowVal caches lx in row-major order (rowVal[t] =
+	// lx[rowPos[t]], refreshed lazily per numeric generation) so the
+	// forward solve streams values sequentially instead of gathering
+	// through rowPos on every ADMM iteration.
+	rowPtr []int // len n+1
+	rowCol []int
+	rowPos []int
+	rowVal []float64
+	rowGen int // numeric generation rowVal was built from
+	numGen int // bumped whenever lx changes
+
+	// Lower-triangular view of the stored upper K pattern: lower column
+	// k lists the columns c ≥ k with K[k,c] ≠ 0 (ascending, diagonal
+	// first) and the source position in baseVal/ataVal, so the numeric
+	// kernel scatters K's column without searching the upper CSC.
+	lowPtr []int // len n+1
+	lowRow []int
+	lowSrc []int
+
+	// Elimination-tree level sets: levelNode[levelPtr[l]:levelPtr[l+1]]
+	// are the columns of etree height l, ascending.  Columns within a
+	// level are mutually independent — the parallel schedule.
+	levelPtr  []int
+	levelNode []int
+	nLevels   int
+
+	// lastParLevels counts the level sets the most recent RefactorW
+	// dispatched through the worker pool (0 on serial runs) — the
+	// qp/parallel_factor_levels telemetry feed.
+	lastParLevels int
+
+	// Scratch reused across factorizations and solves.  w backs the
+	// serial numeric kernel and every solve; wk holds one all-zero
+	// dense workspace per factorization worker (the column kernel
+	// restores its workspace to zero on every path, so the buffers
+	// never need re-clearing between levels).
+	flag []int
+	w    []float64
+	wk   [][]float64
 }
 
 // upperEntry is one upper-triangular entry contribution before
@@ -598,7 +649,12 @@ func (f *ldltFactor) reorder() {
 }
 
 // symbolic computes the elimination tree and column counts of L for
-// the current pattern, and sizes the numeric arrays.
+// the current pattern, fills the pattern of L explicitly (row indices,
+// row-major view), compiles the lower-triangular K view and the etree
+// level sets, and sizes the numeric arrays.  After symbolic returns,
+// the numeric phase touches only lx and d — which is what makes both
+// factor caching (snapshot/restore of lx, d) and level-parallel
+// factorization (fixed disjoint write ranges per column) sound.
 func (f *ldltFactor) symbolic() {
 	n := f.n
 	if f.parent == nil {
@@ -606,10 +662,7 @@ func (f *ldltFactor) symbolic() {
 		f.lnz = make([]int, n)
 		f.lp = make([]int, n+1)
 		f.flag = make([]int, n)
-		f.pattern = make([]int, n)
-		f.y = make([]float64, n)
 		f.w = make([]float64, n)
-		f.lnzRow = make([]int, n)
 	}
 	for k := 0; k < n; k++ {
 		f.parent[k] = -1
@@ -640,6 +693,144 @@ func (f *ldltFactor) symbolic() {
 	if f.d == nil {
 		f.d = make([]float64, n)
 	}
+
+	// Fill li by a second flag-path walk: visiting rows k in ascending
+	// order appends k to every column on the path, so each column's row
+	// indices come out sorted without a sort.
+	next := make([]int, n)
+	for k := 0; k < n; k++ {
+		f.flag[k] = -1
+	}
+	for k := 0; k < n; k++ {
+		f.flag[k] = k
+		for p := f.kp[k]; p < f.kp[k+1]; p++ {
+			for i := f.ki[p]; f.flag[i] != k; i = f.parent[i] {
+				f.li[f.lp[i]+next[i]] = k
+				next[i]++
+				f.flag[i] = k
+			}
+		}
+	}
+
+	// Row-major view of L.  Iterating source columns in ascending order
+	// makes each row's column list ascending — the fixed accumulation
+	// order of the numeric kernel and the forward solve.
+	f.rowPtr = growInts(f.rowPtr, n+1)
+	clear(f.rowPtr)
+	for _, r := range f.li {
+		f.rowPtr[r+1]++
+	}
+	for k := 0; k < n; k++ {
+		f.rowPtr[k+1] += f.rowPtr[k]
+	}
+	f.rowCol = growInts(f.rowCol, nnz)
+	f.rowPos = growInts(f.rowPos, nnz)
+	clear(next)
+	for j := 0; j < n; j++ {
+		for p := f.lp[j]; p < f.lp[j+1]; p++ {
+			r := f.li[p]
+			slot := f.rowPtr[r] + next[r]
+			f.rowCol[slot] = j
+			f.rowPos[slot] = p
+			next[r]++
+		}
+	}
+
+	// Lower-triangular view of K: transpose the stored upper CSC into
+	// per-column (row ≥ diagonal) gather lists carrying source
+	// positions into baseVal/ataVal.  σI puts the diagonal in every
+	// column, and ascending source columns keep it first.
+	nk := len(f.ki)
+	f.lowPtr = growInts(f.lowPtr, n+1)
+	clear(f.lowPtr)
+	for _, r := range f.ki {
+		f.lowPtr[r+1]++
+	}
+	for k := 0; k < n; k++ {
+		f.lowPtr[k+1] += f.lowPtr[k]
+	}
+	f.lowRow = growInts(f.lowRow, nk)
+	f.lowSrc = growInts(f.lowSrc, nk)
+	clear(next)
+	for c := 0; c < n; c++ {
+		for p := f.kp[c]; p < f.kp[c+1]; p++ {
+			r := f.ki[p]
+			slot := f.lowPtr[r] + next[r]
+			f.lowRow[slot] = c
+			f.lowSrc[slot] = p
+			next[r]++
+		}
+	}
+
+	// Level sets by etree height.  parent[k] > k always, so a single
+	// ascending pass settles every height; columns of equal height have
+	// no ancestor relation and factor (and solve) independently.
+	lev := next // reuse the scratch; heights start at zero
+	clear(lev)
+	f.nLevels = 0
+	for k := 0; k < n; k++ {
+		if p := f.parent[k]; p >= 0 && lev[k]+1 > lev[p] {
+			lev[p] = lev[k] + 1
+		}
+		if lev[k]+1 > f.nLevels {
+			f.nLevels = lev[k] + 1
+		}
+	}
+	f.levelPtr = growInts(f.levelPtr, f.nLevels+1)
+	clear(f.levelPtr)
+	for k := 0; k < n; k++ {
+		f.levelPtr[lev[k]+1]++
+	}
+	for l := 0; l < f.nLevels; l++ {
+		f.levelPtr[l+1] += f.levelPtr[l]
+	}
+	f.levelNode = growInts(f.levelNode, n)
+	fill := make([]int, f.nLevels)
+	for k := 0; k < n; k++ {
+		l := lev[k]
+		f.levelNode[f.levelPtr[l]+fill[l]] = k
+		fill[l]++
+	}
+
+	// The pattern moved: any row-major value cache is stale.
+	f.numGen = 0
+	f.rowGen = -1
+}
+
+// syncRowVal refreshes the row-major copy of lx after a numeric change
+// (refactorization or cache restore), so the forward solve reads
+// values sequentially.  One nnz(L) gather per factor amortized over
+// the hundreds of ADMM iterations that solve against it.
+func (f *ldltFactor) syncRowVal() {
+	if f.rowGen == f.numGen {
+		return
+	}
+	nnz := len(f.rowPos)
+	if cap(f.rowVal) < nnz {
+		f.rowVal = make([]float64, nnz)
+	} else {
+		f.rowVal = f.rowVal[:nnz]
+	}
+	for t, p := range f.rowPos {
+		f.rowVal[t] = f.lx[p]
+	}
+	f.rowGen = f.numGen
+}
+
+// restore overwrites the numeric factor with a cached snapshot.
+func (f *ldltFactor) restore(lx, d []float64) {
+	copy(f.lx, lx)
+	copy(f.d, d)
+	f.numGen++
+}
+
+// growInts resizes an int scratch slice to exactly n elements, reusing
+// capacity when it suffices (contents unspecified).
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
 }
 
 // NNZL returns the fill count nnz(L) predicted by the symbolic phase,
@@ -652,85 +843,208 @@ func (f *ldltFactor) NNZK() int { return len(f.ki) }
 // phase; the caller falls back to the CG backend.
 var errNotPositiveDefinite = errors.New("qp: ldlt: zero pivot (matrix not positive definite)")
 
-// Refactor runs the numeric phase for a concrete ρ: assemble the
-// values K = base + ρ·AᵀA on the fixed pattern, then the up-looking
-// factorization along the elimination tree.
-func (f *ldltFactor) Refactor(rho float64) error {
+// Parallel dispatch thresholds.  Below minParCols the whole matrix
+// factors serially regardless of the worker budget; a level set is
+// dispatched to the pool only when it holds at least minParLevelCols
+// columns (tiny levels near the etree root run inline — scheduling
+// them costs more than the flops).  Both are fixed constants, never
+// derived from the worker count: they gate WHETHER work is dispatched,
+// and the per-column kernel is schedule-invariant, so the bits match
+// either way.
+const (
+	minParCols      = 256
+	minParLevelCols = 32
+)
+
+// column computes column k of L and d[k] by the left-looking update:
+// scatter the lower column k of K = base + ρ·AᵀA into the dense
+// workspace, subtract one rank-1 contribution per nonzero of row k of
+// L (ascending source column — the fixed accumulation order), then
+// scale by the pivot.  It reads only columns that are finalized etree
+// descendants of k and writes only lx[lp[k]:lp[k+1]] and d[k], so
+// columns of one level set run concurrently without synchronization.
+// w must be all-zero on entry and is restored to all-zero on every
+// path, including the zero-pivot abort (reported as false).
+func (f *ldltFactor) column(k int, rho float64, w []float64) bool {
+	for t := f.lowPtr[k]; t < f.lowPtr[k+1]; t++ {
+		s := f.lowSrc[t]
+		w[f.lowRow[t]] = f.baseVal[s] + rho*f.ataVal[s]
+	}
+	dk := w[k]
+	w[k] = 0
+	for t := f.rowPtr[k]; t < f.rowPtr[k+1]; t++ {
+		j, p := f.rowCol[t], f.rowPos[t]
+		lkj := f.lx[p]
+		s := f.d[j] * lkj
+		dk -= lkj * s
+		for q := p + 1; q < f.lp[j+1]; q++ {
+			w[f.li[q]] -= f.lx[q] * s
+		}
+	}
+	end := f.lp[k+1]
+	if dk == 0 {
+		for p := f.lp[k]; p < end; p++ {
+			w[f.li[p]] = 0
+		}
+		return false
+	}
+	f.d[k] = dk
+	for p := f.lp[k]; p < end; p++ {
+		i := f.li[p]
+		f.lx[p] = w[i] / dk
+		w[i] = 0
+	}
+	return true
+}
+
+// Refactor runs the numeric phase serially for a concrete ρ.
+func (f *ldltFactor) Refactor(rho float64) error { return f.RefactorW(rho, 1) }
+
+// RefactorW runs the numeric phase on up to workers goroutines,
+// scheduling elimination-tree level sets bottom-up: all columns of one
+// level are independent, and every column a level depends on lives in
+// a strictly lower level.  Results are bit-identical for any worker
+// count because each column's arithmetic order is fixed by the
+// symbolic views, not by the schedule.
+func (f *ldltFactor) RefactorW(rho float64, workers int) error {
 	n := f.n
-	y, flag, pat := f.y, f.flag, f.pattern
-	lnzRow := f.lnzRow
-	for k := 0; k < n; k++ {
-		y[k] = 0
-		lnzRow[k] = 0
-		flag[k] = -1
+	f.lastParLevels = 0
+	workers = par.Workers(workers)
+	if workers > n {
+		workers = n
 	}
-	for k := 0; k < n; k++ {
-		top := n
-		flag[k] = k
-		for p := f.kp[k]; p < f.kp[k+1]; p++ {
-			i := f.ki[p]
-			y[i] += f.baseVal[p] + rho*f.ataVal[p]
-			ln := 0
-			for ; flag[i] != k; i = f.parent[i] {
-				pat[ln] = i
-				ln++
-				flag[i] = k
-			}
-			for ln > 0 {
-				ln--
-				top--
-				pat[top] = pat[ln]
+	if workers <= 1 || n < minParCols {
+		w := f.w
+		clear(w) // w doubles as the solve vector, so it arrives dirty
+		for k := 0; k < n; k++ {
+			if !f.column(k, rho, w) {
+				return fmt.Errorf("%w at column %d", errNotPositiveDefinite, k)
 			}
 		}
-		dk := y[k]
-		y[k] = 0
-		for ; top < n; top++ {
-			i := pat[top]
-			yi := y[i]
-			y[i] = 0
-			p2 := f.lp[i] + lnzRow[i]
-			for p := f.lp[i]; p < p2; p++ {
-				y[f.li[p]] -= f.lx[p] * yi
-			}
-			lki := yi / f.d[i]
-			dk -= lki * yi
-			f.li[p2] = k
-			f.lx[p2] = lki
-			lnzRow[i]++
-		}
-		if dk == 0 {
-			return fmt.Errorf("%w at column %d", errNotPositiveDefinite, k)
-		}
-		f.d[k] = dk
+		f.numGen++
+		return nil
 	}
+	if len(f.wk) < workers {
+		old := len(f.wk)
+		f.wk = append(f.wk, make([][]float64, workers-old)...)
+		for i := old; i < workers; i++ {
+			f.wk[i] = make([]float64, n)
+		}
+	}
+	for l := 0; l < f.nLevels; l++ {
+		lo, hi := f.levelPtr[l], f.levelPtr[l+1]
+		if hi-lo < minParLevelCols {
+			w := f.wk[0]
+			for t := lo; t < hi; t++ {
+				if k := f.levelNode[t]; !f.column(k, rho, w) {
+					return fmt.Errorf("%w at column %d", errNotPositiveDefinite, k)
+				}
+			}
+			continue
+		}
+		f.lastParLevels++
+		var bad atomic.Int64
+		bad.Store(int64(n))
+		par.DoWorker(hi-lo, workers, func(worker, i int) {
+			k := f.levelNode[lo+i]
+			if !f.column(k, rho, f.wk[worker]) {
+				// Smallest failing column wins, matching the serial
+				// error regardless of completion order.
+				for {
+					old := bad.Load()
+					if int64(k) >= old || bad.CompareAndSwap(old, int64(k)) {
+						break
+					}
+				}
+			}
+		})
+		if b := bad.Load(); b < int64(n) {
+			return fmt.Errorf("%w at column %d", errNotPositiveDefinite, b)
+		}
+	}
+	f.numGen++
 	return nil
 }
 
-// Solve overwrites x with K⁻¹ b via permute → L solve → D scale → Lᵀ
-// solve → unpermute.  x and b may alias.
-func (f *ldltFactor) Solve(x, b []float64) {
+// Solve overwrites x with K⁻¹ b serially.  x and b may alias.
+func (f *ldltFactor) Solve(x, b []float64) { f.SolveW(x, b, 1) }
+
+// SolveW overwrites x with K⁻¹ b via permute → L solve → D scale → Lᵀ
+// solve → unpermute, on up to workers goroutines.  The forward solve
+// is pull-mode by ROW (row k gathers L[k,j]·w[j] in ascending j — the
+// same element order as the classical push-mode sweep, so the serial
+// bits are unchanged) and the backward solve is pull-mode by column;
+// both parallelize over the same etree level sets as the
+// factorization, forward bottom-up and backward top-down, each element
+// computed by exactly one owner with its operand order fixed.  x and b
+// may alias.
+func (f *ldltFactor) SolveW(x, b []float64, workers int) {
 	n := f.n
 	w := f.w
 	for k := 0; k < n; k++ {
 		w[k] = b[f.perm[k]]
 	}
-	for j := 0; j < n; j++ {
-		wj := w[j]
-		if wj != 0 {
-			for p := f.lp[j]; p < f.lp[j+1]; p++ {
-				w[f.li[p]] -= f.lx[p] * wj
+	workers = par.Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	f.syncRowVal()
+	if workers <= 1 || n < minParCols {
+		for k := 0; k < n; k++ {
+			wk := w[k]
+			for t := f.rowPtr[k]; t < f.rowPtr[k+1]; t++ {
+				wk -= f.rowVal[t] * w[f.rowCol[t]]
 			}
+			w[k] = wk
 		}
-	}
-	for j := 0; j < n; j++ {
-		w[j] /= f.d[j]
-	}
-	for j := n - 1; j >= 0; j-- {
-		wj := w[j]
-		for p := f.lp[j]; p < f.lp[j+1]; p++ {
-			wj -= f.lx[p] * w[f.li[p]]
+		for j := 0; j < n; j++ {
+			w[j] /= f.d[j]
 		}
-		w[j] = wj
+		for j := n - 1; j >= 0; j-- {
+			wj := w[j]
+			for p := f.lp[j]; p < f.lp[j+1]; p++ {
+				wj -= f.lx[p] * w[f.li[p]]
+			}
+			w[j] = wj
+		}
+	} else {
+		fwd := func(k int) {
+			wk := w[k]
+			for t := f.rowPtr[k]; t < f.rowPtr[k+1]; t++ {
+				wk -= f.rowVal[t] * w[f.rowCol[t]]
+			}
+			w[k] = wk
+		}
+		for l := 0; l < f.nLevels; l++ {
+			lo, hi := f.levelPtr[l], f.levelPtr[l+1]
+			if hi-lo < minParLevelCols {
+				for t := lo; t < hi; t++ {
+					fwd(f.levelNode[t])
+				}
+				continue
+			}
+			par.DoWorker(hi-lo, workers, func(_, i int) { fwd(f.levelNode[lo+i]) })
+		}
+		for j := 0; j < n; j++ {
+			w[j] /= f.d[j]
+		}
+		bwd := func(j int) {
+			wj := w[j]
+			for p := f.lp[j]; p < f.lp[j+1]; p++ {
+				wj -= f.lx[p] * w[f.li[p]]
+			}
+			w[j] = wj
+		}
+		for l := f.nLevels - 1; l >= 0; l-- {
+			lo, hi := f.levelPtr[l], f.levelPtr[l+1]
+			if hi-lo < minParLevelCols {
+				for t := lo; t < hi; t++ {
+					bwd(f.levelNode[t])
+				}
+				continue
+			}
+			par.DoWorker(hi-lo, workers, func(_, i int) { bwd(f.levelNode[lo+i]) })
+		}
 	}
 	for k := 0; k < n; k++ {
 		x[f.perm[k]] = w[k]

@@ -115,34 +115,126 @@ func (b *cgBackend) kind() LinSys { return LinSysCG }
 
 // --- LDLᵀ backend ---------------------------------------------------------
 
-// ldltBackend caches one sparse factor of K, re-running the numeric
-// phase only when ρ moved or rows were appended since the last factor.
+// defaultFactorCache is the ρ-ladder factor-cache capacity when
+// Settings.FactorCache is zero.  Ten slots cover the working set the
+// adaptive-ρ trajectory actually revisits: the initial rung, the
+// settled rung, and the handful of rungs the eager adapter walks
+// through on the way (plus stall-restart returns to the initial rung).
+const defaultFactorCache = 10
+
+// factorSnap is one cached numeric factor: the (lx, d) pair of a
+// finished factorization, keyed by the exact ρ it was computed for and
+// the pattern epoch it belongs to.  Snapshots are immutable once
+// stored; restoring one is two copies of nnz(L)+n floats — orders of
+// magnitude cheaper than the factorization flops it replaces.
+type factorSnap struct {
+	rho   float64
+	epoch int
+	lx    []float64
+	d     []float64
+	use   int64
+}
+
+// ldltBackend caches one live sparse factor of K plus a small LRU of
+// numeric snapshots keyed by (ρ, pattern epoch).  ADMM ρ-adaptation
+// quantizes onto the ρ-ladder (see Solver.adaptRho), so stall restarts
+// and ρ flips revisit previously factored rungs and restore the cached
+// (lx, d) instead of re-running the numeric phase.  Appending rows
+// bumps the epoch and flushes the cache — a snapshot never outlives
+// its pattern.
 type ldltBackend struct {
 	s        *Solver
 	f        *ldltFactor
 	rho      float64
 	factored bool
+	epoch    int
+	cache    []*factorSnap
+	cacheCap int
+	useSeq   int64
+	// built records the ρ rungs numerically factored in the current
+	// epoch.  It splits the factor counters by the work they represent:
+	// the first build of an (epoch, rung) pair is a factorization —
+	// unavoidable, the numbers did not exist — while building a pair
+	// again is a refactorization, repeat work the snapshot cache exists
+	// to eliminate (it only happens after an eviction or with caching
+	// disabled).
+	built map[float64]bool
 }
 
 func newLDLTBackend(s *Solver, f *ldltFactor) *ldltBackend {
-	return &ldltBackend{s: s, f: f}
+	capacity := s.set.FactorCache
+	if capacity == 0 {
+		capacity = defaultFactorCache
+	}
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &ldltBackend{s: s, f: f, cacheCap: capacity, built: make(map[float64]bool)}
+}
+
+// lookup returns the cached snapshot for ρ in the current pattern
+// epoch, refreshing its LRU stamp, or nil.
+func (b *ldltBackend) lookup(rho float64) *factorSnap {
+	for _, snap := range b.cache {
+		if snap.rho == rho && snap.epoch == b.epoch {
+			b.useSeq++
+			snap.use = b.useSeq
+			return snap
+		}
+	}
+	return nil
+}
+
+// store snapshots the live factor for ρ, evicting the least-recently
+// used entry at capacity.
+func (b *ldltBackend) store(rho float64) {
+	if b.cacheCap <= 0 {
+		return
+	}
+	if len(b.cache) >= b.cacheCap {
+		lru := 0
+		for i, snap := range b.cache {
+			if snap.use < b.cache[lru].use {
+				lru = i
+			}
+		}
+		b.cache[lru] = b.cache[len(b.cache)-1]
+		b.cache = b.cache[:len(b.cache)-1]
+		b.s.nCacheEvict++
+	}
+	b.useSeq++
+	b.cache = append(b.cache, &factorSnap{
+		rho:   rho,
+		epoch: b.epoch,
+		lx:    append([]float64(nil), b.f.lx...),
+		d:     append([]float64(nil), b.f.d...),
+		use:   b.useSeq,
+	})
 }
 
 func (b *ldltBackend) solve(x, bvec []float64, _ float64) (int, error) {
 	s := b.s
 	if !b.factored || b.rho != s.rho {
-		if err := b.f.Refactor(s.rho); err != nil {
-			return 0, err
-		}
-		if b.factored {
-			s.nRefactor++
+		if snap := b.lookup(s.rho); snap != nil {
+			b.f.restore(snap.lx, snap.d)
+			s.nCacheHit++
 		} else {
-			s.nFactor++
+			if err := b.f.RefactorW(s.rho, s.set.Workers); err != nil {
+				return 0, err
+			}
+			s.nParLevels += int64(b.f.lastParLevels)
+			if b.built[s.rho] {
+				s.nRefactor++
+			} else {
+				s.nFactor++
+				b.built[s.rho] = true
+			}
+			b.store(s.rho)
 		}
 		b.rho = s.rho
 		b.factored = true
 	}
-	b.f.Solve(x, bvec)
+	b.f.SolveW(x, bvec, s.set.Workers)
 	s.nTriSolve++
 	return 0, nil
 }
@@ -150,6 +242,9 @@ func (b *ldltBackend) solve(x, bvec []float64, _ float64) (int, error) {
 func (b *ldltBackend) appendRows(fromRow int) {
 	b.f.AppendRows(b.s.a, fromRow)
 	b.factored = false
+	b.epoch++
+	b.cache = b.cache[:0]
+	clear(b.built)
 }
 
 func (b *ldltBackend) kind() LinSys { return LinSysLDLT }
@@ -180,4 +275,17 @@ func (s *Solver) initLinsys() {
 func (s *Solver) fallbackToCG() {
 	s.lin = newCGBackend(s)
 	s.linFallbacks++
+}
+
+// FactorEntries exposes a copy of the live LDLᵀ numeric factor — the
+// off-diagonal values of L (in the internal column-compressed order)
+// and the pivot diagonal D — when the x-step backend currently holds
+// one.  It exists for determinism audits: the bit-identity tests
+// compare factors produced at different worker counts entry by entry.
+func (s *Solver) FactorEntries() (l, d []float64, ok bool) {
+	b, isLDLT := s.lin.(*ldltBackend)
+	if !isLDLT || !b.factored {
+		return nil, nil, false
+	}
+	return append([]float64(nil), b.f.lx...), append([]float64(nil), b.f.d...), true
 }

@@ -1,0 +1,69 @@
+package qp
+
+import (
+	"fmt"
+	"testing"
+)
+
+// gridDoseFactor builds the LDLᵀ factor of the matrix the production
+// dose QP hands the x-step: a g×g grid with box rows on every cell and
+// 4-neighbour smoothness rows, unit curvature — K = P + σI + ρAᵀA is
+// the usual banded grid Laplacian.
+func gridDoseFactor(g int) *ldltFactor {
+	n := g * g
+	pd := make([]float64, n)
+	for i := range pd {
+		pd[i] = 1
+	}
+	rows := n + 2*g*(g-1)
+	tr := NewTriplet(rows, n)
+	for i := 0; i < n; i++ {
+		tr.Add(i, i, 1)
+	}
+	r := n
+	for y := 0; y < g; y++ {
+		for x := 0; x < g; x++ {
+			j := y*g + x
+			if x+1 < g {
+				tr.Add(r, j, 1)
+				tr.Add(r, j+1, -1)
+				r++
+			}
+			if y+1 < g {
+				tr.Add(r, j, 1)
+				tr.Add(r, j+g, -1)
+				r++
+			}
+		}
+	}
+	return newLDLTFactor(diagCSRBench(pd), DefaultSettings().Sigma, tr.Compile(), n)
+}
+
+func diagCSRBench(d []float64) *CSR {
+	tr := NewTriplet(len(d), len(d))
+	for i, v := range d {
+		tr.Add(i, i, v)
+	}
+	return tr.Compile()
+}
+
+// BenchmarkLDLTParallelFactor times the numeric phase of the
+// elimination-tree-scheduled factorization on a 64×64 grid dose matrix
+// at increasing worker counts.  The ρ argument alternates between two
+// rungs so every iteration runs the full numeric phase instead of the
+// factored-already fast path.
+func BenchmarkLDLTParallelFactor(b *testing.B) {
+	f := gridDoseFactor(64)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			rhos := [2]float64{0.1, 1}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := f.RefactorW(rhos[i&1], workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -131,10 +131,18 @@ type Settings struct {
 	// low and CG otherwise; see linsys.go.
 	LinSys LinSys
 	// Workers bounds the fan-out of the CSR mat-vec and dot-product
-	// kernels inside CG.  Zero selects runtime.GOMAXPROCS(0).  All
-	// reductions use a fixed block order, so the solve trajectory is
-	// bit-identical for every worker count.
+	// kernels inside CG and of the LDLᵀ numeric factorization and
+	// triangular solves (elimination-tree level sets).  Zero selects
+	// runtime.GOMAXPROCS(0).  All reductions use a fixed block order
+	// and the factor kernel a fixed per-column accumulation order, so
+	// the solve trajectory is bit-identical for every worker count.
 	Workers int
+	// FactorCache sizes the LDLᵀ ρ-ladder factor cache: an LRU of
+	// numeric factors keyed by (ρ, pattern epoch) that turns adaptive-ρ
+	// flips and stall restarts into snapshot restores instead of
+	// refactorizations.  Zero selects the default capacity
+	// (defaultFactorCache); a negative value disables caching.
+	FactorCache int
 }
 
 // DefaultSettings returns the settings used across the flow.
@@ -215,6 +223,9 @@ type Solver struct {
 	nFactor      int64
 	nRefactor    int64
 	nTriSolve    int64
+	nCacheHit    int64
+	nCacheEvict  int64
+	nParLevels   int64
 	linFallbacks int64
 
 	// solves counts completed SolveCtx calls; warmed records an explicit
@@ -555,6 +566,7 @@ func (s *Solver) SolveCtx(ctx context.Context) (*Result, error) {
 		dyAcc[i] = 0
 	}
 	factor0, refactor0, trisolve0, fallback0 := s.nFactor, s.nRefactor, s.nTriSolve, s.linFallbacks
+	cacheHit0, cacheEvict0, parLevels0 := s.nCacheHit, s.nCacheEvict, s.nParLevels
 	var lastPrim, lastDual float64
 	var cause error
 
@@ -683,6 +695,9 @@ func (s *Solver) SolveCtx(ctx context.Context) (*Result, error) {
 		rec.Add("qp/factorizations", s.nFactor-factor0)
 		rec.Add("qp/refactorizations", s.nRefactor-refactor0)
 		rec.Add("qp/triangular_solves", s.nTriSolve-trisolve0)
+		rec.Add("qp/factor_cache_hits", s.nCacheHit-cacheHit0)
+		rec.Add("qp/factor_cache_evictions", s.nCacheEvict-cacheEvict0)
+		rec.Add("qp/parallel_factor_levels", s.nParLevels-parLevels0)
 		rec.Add("qp/linsys_fallbacks", s.linFallbacks-fallback0)
 		rec.Add("qp/linsys_"+s.lin.kind().String()+"_solves", 1)
 		if warm {
@@ -785,16 +800,34 @@ func (s *Solver) adaptRho(prim, dual, epsP, epsD float64) {
 		return
 	}
 	// Normalize residuals by their tolerances so the ratio is unitless.
+	// The 2× trigger is deliberately eager: a mild ρ misfit that the
+	// classical 5× threshold tolerates can grind for hundreds of
+	// iterations, and with the ρ-ladder factor cache an adaptation that
+	// revisits a known rung costs a snapshot restore, not a numeric
+	// refactorization.
 	ratio := math.Sqrt((prim / epsP) / (dual / epsD))
-	if ratio > 5 || ratio < 0.2 {
-		s.rho *= ratio
-		if s.rho < 1e-6 {
-			s.rho = 1e-6
+	if ratio > 2 || ratio < 0.5 {
+		rho := s.rho * ratio
+		if rho < 1e-6 {
+			rho = 1e-6
 		}
-		if s.rho > 1e6 {
-			s.rho = 1e6
+		if rho > 1e6 {
+			rho = 1e6
 		}
+		s.rho = rhoRung(rho)
 	}
+}
+
+// rhoRung quantizes ρ onto the geometric quarter-decade ladder
+// 10^(k/4), k ∈ ℤ.  Adaptive moves only fire on a ≥2× residual
+// imbalance (≈ 1.2 rungs), so the ≤ 1.33× snap never suppresses a
+// genuine adaptation — but it collapses the continuum of adapted ρ
+// values onto a handful of rungs that the LDLᵀ factor cache (and the
+// CG preconditioner) can actually revisit.  Stall restarts reset to
+// the initial Settings.Rho, which re-hits the first factor's exact key
+// without being snapped itself.
+func rhoRung(rho float64) float64 {
+	return math.Pow(10, math.Round(4*math.Log10(rho))/4)
 }
 
 // cg solves (P + σI + ρAᵀA) x = b by preconditioned conjugate gradients,

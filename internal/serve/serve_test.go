@@ -334,8 +334,12 @@ func TestHTTPAdmissionAndCancel(t *testing.T) {
 		getJSON(t, ts.URL+"/v1/jobs/"+a.ID, &a)
 	}
 
-	// Job B fills the queue; job C overflows it.
-	resp, body := postJSON(t, ts.URL+"/v1/jobs", testSpec())
+	// Job B fills the queue; job C overflows it.  Both must differ from
+	// the in-flight specs already submitted — identical specs would be
+	// deduplicated instead of queued.
+	specB := testSpec()
+	specB.Delta = 2.5
+	resp, body := postJSON(t, ts.URL+"/v1/jobs", specB)
 	if resp.StatusCode != http.StatusAccepted {
 		t.Fatalf("submit B: %d %s", resp.StatusCode, body)
 	}
@@ -343,7 +347,9 @@ func TestHTTPAdmissionAndCancel(t *testing.T) {
 	if err := json.Unmarshal(body, &b); err != nil {
 		t.Fatalf("submit B: %v", err)
 	}
-	resp, body = postJSON(t, ts.URL+"/v1/jobs", testSpec())
+	specC := testSpec()
+	specC.Delta = 3
+	resp, body = postJSON(t, ts.URL+"/v1/jobs", specC)
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("overflow submit: %d %s", resp.StatusCode, body)
 	}
@@ -422,5 +428,68 @@ func TestSolveClientDisconnect(t *testing.T) {
 	resp := getJSON(t, ts.URL+"/healthz", nil)
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("healthz after disconnect: %d", resp.StatusCode)
+	}
+}
+
+// TestHTTPJobDedupe: concurrent submissions of an identical spec share
+// one execution — the second submitter receives the first job's id and
+// both observe the same result — while a resubmission after completion
+// starts a fresh job.
+func TestHTTPJobDedupe(t *testing.T) {
+	srv, ts, rec := newTestServer(t, Config{MaxRunning: 1})
+	release := holdKey(srv, "design/"+testSpec().DesignKey())
+	defer release()
+
+	// Job A blocks inside the design stage on the held key, so it is
+	// reliably in flight for the duplicate submission.
+	_, body := postJSON(t, ts.URL+"/v1/jobs", testSpec())
+	var a JobView
+	if err := json.Unmarshal(body, &a); err != nil {
+		t.Fatalf("submit A: %v", err)
+	}
+
+	resp, body := postJSON(t, ts.URL+"/v1/jobs", testSpec())
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("duplicate submit: %d %s", resp.StatusCode, body)
+	}
+	var dup JobView
+	if err := json.Unmarshal(body, &dup); err != nil {
+		t.Fatalf("duplicate submit body: %v", err)
+	}
+	if dup.ID != a.ID {
+		t.Fatalf("duplicate submission got job %s, want shared job %s", dup.ID, a.ID)
+	}
+	if got := rec.Snapshot().Counters["serve/jobs_deduped"]; got != 1 {
+		t.Fatalf("serve/jobs_deduped = %d, want 1", got)
+	}
+
+	// Both submitters poll the shared id and receive the one result.
+	release()
+	getJSON(t, ts.URL+"/v1/jobs/"+a.ID+"?wait=120s", &a)
+	if a.State != StateDone {
+		t.Fatalf("shared job ended %s (%s)", a.State, a.Error)
+	}
+	if a.Result == nil {
+		t.Fatal("shared job has no result")
+	}
+
+	// The spec is no longer in flight: resubmitting runs a new job.
+	resp, body = postJSON(t, ts.URL+"/v1/jobs", testSpec())
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("resubmit: %d %s", resp.StatusCode, body)
+	}
+	var fresh JobView
+	if err := json.Unmarshal(body, &fresh); err != nil {
+		t.Fatalf("resubmit body: %v", err)
+	}
+	if fresh.ID == a.ID {
+		t.Fatalf("finished spec deduped to old job %s; want a fresh job", a.ID)
+	}
+	getJSON(t, ts.URL+"/v1/jobs/"+fresh.ID+"?wait=120s", &fresh)
+	if fresh.State != StateDone {
+		t.Fatalf("fresh job ended %s (%s)", fresh.State, fresh.Error)
+	}
+	if got, want := resultFingerprint(t, fresh.Result), resultFingerprint(t, a.Result); got != want {
+		t.Fatalf("rerun result differs from shared result:\n  rerun  %s\n  shared %s", got, want)
 	}
 }

@@ -79,6 +79,10 @@ type Job struct {
 
 	cancel context.CancelFunc
 	done   chan struct{}
+
+	// dedupeKey is the canonical spec the in-flight index filed this job
+	// under; cleared when the job reaches a terminal state.
+	dedupeKey string
 }
 
 // ErrQueueFull rejects a submission when the admission queue is at
@@ -100,12 +104,13 @@ type Server struct {
 	sem       chan struct{}
 	wg        sync.WaitGroup
 
-	mu     sync.Mutex
-	closed bool
-	jobs   map[string]*Job
-	order  []string // submission order, for listing and registry GC
-	queued int
-	seq    int
+	mu       sync.Mutex
+	closed   bool
+	jobs     map[string]*Job
+	order    []string        // submission order, for listing and registry GC
+	inflight map[string]*Job // canonical spec → queued/running job
+	queued   int
+	seq      int
 }
 
 // New returns a started server.  The Recorder accumulates pipeline and
@@ -130,6 +135,7 @@ func New(cfg Config, rec *obs.Recorder) *Server {
 		cancelAll: cancel,
 		sem:       make(chan struct{}, cfg.MaxRunning),
 		jobs:      map[string]*Job{},
+		inflight:  map[string]*Job{},
 	}
 }
 
@@ -161,16 +167,28 @@ func (s *Server) clampWorkers(spec api.JobSpec) api.JobSpec {
 
 // Submit validates, admits and enqueues a job, returning immediately
 // with its id.  The job runs as soon as a running slot frees up.
+// Identical in-flight specs are deduplicated: a submission whose
+// canonical form (post-normalize, post-clamp) matches a queued or
+// running job returns that job instead of starting a second execution,
+// so every concurrent submitter shares one run and all receive its
+// result.  Finished jobs never dedupe — resubmitting a completed spec
+// runs it again.
 func (s *Server) Submit(spec api.JobSpec) (*Job, error) {
 	spec = s.clampWorkers(spec.Normalized())
 	if err := spec.Validate(); err != nil {
 		s.rec.Add("serve/jobs_rejected", 1)
 		return nil, err
 	}
+	key := spec.MarshalCanonical()
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		return nil, errors.New("serve: server is shutting down")
+	}
+	if j := s.inflight[key]; j != nil {
+		s.mu.Unlock()
+		s.rec.Add("serve/jobs_deduped", 1)
+		return j, nil
 	}
 	if s.queued >= s.cfg.MaxQueue {
 		s.mu.Unlock()
@@ -186,9 +204,11 @@ func (s *Server) Submit(spec api.JobSpec) (*Job, error) {
 		submitted: time.Now(),
 		cancel:    cancel,
 		done:      make(chan struct{}),
+		dedupeKey: key,
 	}
 	s.jobs[j.ID] = j
 	s.order = append(s.order, j.ID)
+	s.inflight[key] = j
 	s.queued++
 	s.rec.Set("serve/queue_depth", float64(s.queued))
 	// The Add must happen under the mutex that guards closed: Close sets
@@ -258,6 +278,9 @@ func (s *Server) finish(j *Job, res *api.JobResult, err error) {
 	if j.state == StateQueued {
 		s.queued--
 		s.rec.Set("serve/queue_depth", float64(s.queued))
+	}
+	if s.inflight[j.dedupeKey] == j {
+		delete(s.inflight, j.dedupeKey)
 	}
 	j.finished = time.Now()
 	switch {
