@@ -4,11 +4,13 @@
 # emits the machine-readable benchmark report; `make fuzz-smoke` gives
 # each parser fuzzer a 30 s budget; `make profile` captures CPU and
 # heap profiles of the Table IV pipeline; `make serve-smoke` boots the
-# dmopt-serve daemon, runs one job through it and scrapes /metrics.
+# dmopt-serve daemon, runs one job through it and scrapes /metrics;
+# `make wafer-smoke` runs a tiny consensus wafer end-to-end and proves
+# serial-vs-parallel bit-equality.
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-json fuzz-smoke profile serve-smoke all
+.PHONY: check vet build test race bench bench-json fuzz-smoke profile serve-smoke wafer-smoke all
 
 all: check
 
@@ -37,11 +39,16 @@ bench:
 # LDLᵀ micro-benchmark on the cut-pool matrix, the parallel numeric
 # factorization sweep, and the τ-Newton bisection benchmark.
 bench-json:
-	$(GO) test ./internal/core/ -run '^$$' -bench 'LinSys|TauNewton' -benchtime 3x
+	$(GO) test ./internal/core/ -run '^$$' -bench 'LinSys|TauNewton|WaferSolve' -benchtime 3x
 	$(GO) test ./internal/qp/ -run '^$$' -bench LDLTParallelFactor -benchtime 20x
 	$(GO) build -o tables.bin ./cmd/tables
-	./tables.bin -scale 0.15 -k 2000 -which iv -bench-json BENCH_pr7.json
+	./tables.bin -scale 0.15 -k 2000 -which iv -bench-json BENCH_pr8.json
 	rm -f tables.bin
+
+# Tiny wafer end-to-end: the 12-field consensus smoke plus the
+# worker/permutation bit-identity proof (serial vs parallel dispatch).
+wafer-smoke:
+	$(GO) test ./internal/core/ -run 'TestWaferSmoke|TestWaferWorkerBitIdentity' -count=1 -v
 
 # End-to-end service smoke: boot dmopt-serve, run one scale-0.15 job
 # through the synchronous endpoint, require a 200 and a well-formed

@@ -28,7 +28,7 @@ func main() {
 	scale := flag.Float64("scale", 0.15, "design scale factor in (0,1]; 1 = full Table I sizes")
 	k := flag.Int("k", 2000, "top-path count for path-based experiments (paper: 10000)")
 	md := flag.Bool("md", false, "emit GitHub-flavored markdown instead of aligned text")
-	which := flag.String("which", "all", "comma-separated experiment list, or 'all'")
+	which := flag.String("which", "all", "comma-separated experiment list, 'all', or 'ix' (wafer, opt-in)")
 	fig10Design := flag.String("fig10", "AES-65", "design for the Fig. 10 slack profiles")
 	com := cli.AddFlags("tables")
 	flag.Parse()
@@ -98,6 +98,11 @@ func main() {
 	}
 	if want("fig10") {
 		emit(c.Fig10Ctx(ctx, *fig10Design, 24))
+	}
+	// The wafer extension is opt-in (-which ix): 88 coupled field
+	// solves are well beyond the single-field tables' budget.
+	if sel["ix"] {
+		emit(c.TableIXCtx(ctx, *fig10Design))
 	}
 	wall := time.Since(start)
 	fmt.Fprintf(os.Stderr, "tables: done in %v (scale %.2f)\n", wall.Round(time.Millisecond), *scale)

@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/dosemap"
 	"repro/internal/gen"
 	"repro/internal/qp"
 )
@@ -30,7 +31,27 @@ const (
 	ModeQP = "qp"
 	// ModeQCP minimizes the clock period under a leakage budget.
 	ModeQCP = "qcp"
+	// ModeWafer runs the full-wafer consensus co-optimization: per-field
+	// sub-problems under an across-wafer CD fingerprint, coupled by
+	// shared cross-slit dose profiles.
+	ModeWafer = "wafer"
 )
+
+// WaferSpec parameterizes a wafer-mode job: the step-and-scan layout,
+// the radial CD fingerprint (nm at wafer center and edge; zero values
+// describe a flat wafer) and the consensus outer loop.  Zero-valued
+// knobs select the production defaults (300 mm wafer, 26×33 mm fields,
+// 3 mm edge exclusion).
+type WaferSpec struct {
+	DiameterMM float64 `json:"diameter_mm,omitempty"`
+	FieldWmm   float64 `json:"field_w_mm,omitempty"`
+	FieldHmm   float64 `json:"field_h_mm,omitempty"`
+	EdgeMM     float64 `json:"edge_mm,omitempty"`
+	CenterNm   float64 `json:"center_nm,omitempty"`
+	EdgeNm     float64 `json:"edge_nm,omitempty"`
+	Power      float64 `json:"power,omitempty"`
+	MaxOuter   int     `json:"max_outer,omitempty"`
+}
 
 // JobSpec describes one optimization job.  Zero-valued knobs select the
 // paper's defaults (see core.DefaultOptions); Normalized materializes
@@ -74,6 +95,10 @@ type JobSpec struct {
 	// DosePl appends the cell-swapping placement rounds after DMopt.
 	DosePl bool `json:"dosepl,omitempty"`
 
+	// Wafer parameterizes a wafer-mode job; only valid with mode "wafer"
+	// (and a nil Wafer there selects the production layout, flat).
+	Wafer *WaferSpec `json:"wafer,omitempty"`
+
 	// Workers bounds the job's parallel fan-out; 0 = GOMAXPROCS.
 	// Results are bit-identical for every worker count.
 	Workers int `json:"workers,omitempty"`
@@ -108,6 +133,31 @@ func (s JobSpec) Normalized() JobSpec {
 	if s.Workers < 0 {
 		s.Workers = 0
 	}
+	if s.Mode == ModeWafer {
+		w := WaferSpec{}
+		if s.Wafer != nil {
+			w = *s.Wafer
+		}
+		if w.DiameterMM <= 0 {
+			w.DiameterMM = 300
+		}
+		if w.FieldWmm <= 0 {
+			w.FieldWmm = 26
+		}
+		if w.FieldHmm <= 0 {
+			w.FieldHmm = 33
+		}
+		if w.EdgeMM == 0 {
+			w.EdgeMM = 3
+		}
+		if w.Power <= 0 {
+			w.Power = 2
+		}
+		if w.MaxOuter <= 0 {
+			w.MaxOuter = 8
+		}
+		s.Wafer = &w
+	}
 	return s
 }
 
@@ -131,10 +181,30 @@ func (s JobSpec) Validate() error {
 	if s.Scale < 0 || s.Scale > 1 {
 		return fmt.Errorf("api: scale %g outside (0, 1]", s.Scale)
 	}
-	switch strings.ToLower(s.Mode) {
-	case "", ModeQP, ModeQCP:
+	mode := strings.ToLower(s.Mode)
+	switch mode {
+	case "", ModeQP, ModeQCP, ModeWafer:
 	default:
-		return fmt.Errorf("api: unknown mode %q (want %q or %q)", s.Mode, ModeQP, ModeQCP)
+		return fmt.Errorf("api: unknown mode %q (want %q, %q or %q)", s.Mode, ModeQP, ModeQCP, ModeWafer)
+	}
+	if s.Wafer != nil && mode != ModeWafer {
+		return fmt.Errorf("api: wafer parameters are only valid with mode %q", ModeWafer)
+	}
+	if mode == ModeWafer {
+		if s.BothLayers || s.Tiled || s.DosePl {
+			return fmt.Errorf("api: wafer mode supports poly-only, untiled jobs without dosepl")
+		}
+		if w := s.Wafer; w != nil {
+			if w.DiameterMM < 0 || w.FieldWmm < 0 || w.FieldHmm < 0 || w.EdgeMM < 0 {
+				return fmt.Errorf("api: negative wafer geometry")
+			}
+			if w.Power < 0 {
+				return fmt.Errorf("api: negative fingerprint power %g", w.Power)
+			}
+			if w.MaxOuter < 0 {
+				return fmt.Errorf("api: negative max_outer %d", w.MaxOuter)
+			}
+		}
 	}
 	if s.TauPs < 0 {
 		return fmt.Errorf("api: negative clock-period bound tau_ps %g", s.TauPs)
@@ -238,6 +308,28 @@ func (s JobSpec) FlowConfig() (core.FlowConfig, error) {
 	}, nil
 }
 
+// WaferOptions maps a wafer-mode spec onto the core wafer options.
+func (s JobSpec) WaferOptions() (core.WaferOptions, error) {
+	s = s.Normalized()
+	if err := s.Validate(); err != nil {
+		return core.WaferOptions{}, err
+	}
+	if s.Mode != ModeWafer || s.Wafer == nil {
+		return core.WaferOptions{}, fmt.Errorf("api: spec mode %q is not a wafer job", s.Mode)
+	}
+	w := s.Wafer
+	return core.WaferOptions{
+		DiameterMM: w.DiameterMM,
+		FieldWmm:   w.FieldWmm,
+		FieldHmm:   w.FieldHmm,
+		EdgeMM:     w.EdgeMM,
+		Fingerprint: dosemap.RadialCD{
+			Center: w.CenterNm, Edge: w.EdgeNm, Power: w.Power,
+		},
+		MaxOuter: w.MaxOuter,
+	}, nil
+}
+
 // MarshalCanonical renders the normalized spec as compact JSON — the
 // job-identity string the server logs and deduplicates on.
 func (s JobSpec) MarshalCanonical() string {
@@ -266,6 +358,33 @@ type DosePlSummary struct {
 	Rounds        int     `json:"rounds"`
 }
 
+// WaferFieldResult is one exposure field's coupled-stage signoff, with
+// the two baselines for comparison.
+type WaferFieldResult struct {
+	Col            int     `json:"col"`
+	Row            int     `json:"row"`
+	BiasNm         float64 `json:"bias_nm"`
+	UniformMCTPs   float64 `json:"uniform_mct_ps"`
+	UncoupledMCTPs float64 `json:"uncoupled_mct_ps"`
+	MCTPs          float64 `json:"mct_ps"`
+	LeakUW         float64 `json:"leak_uw"`
+}
+
+// WaferSummary reports a wafer-mode job: the across-wafer spread of the
+// three stages, the consensus loop's effort, and the per-field signoff.
+type WaferSummary struct {
+	Fields             int                `json:"fields"`
+	Groups             int                `json:"groups"`
+	TauPs              float64            `json:"tau_ps"`
+	UniformSpreadPct   float64            `json:"uniform_spread_pct"`
+	UncoupledSpreadPct float64            `json:"uncoupled_spread_pct"`
+	CoupledSpreadPct   float64            `json:"coupled_spread_pct"`
+	OuterIters         int                `json:"outer_iters"`
+	FieldSolves        int                `json:"field_solves"`
+	FinalResidualPct   float64            `json:"final_residual_pct"`
+	PerField           []WaferFieldResult `json:"per_field"`
+}
+
 // JobResult is the versioned outcome document of one job.
 type JobResult struct {
 	Schema string `json:"schema"`
@@ -292,9 +411,71 @@ type JobResult struct {
 
 	Dose   DoseSummary    `json:"dose"`
 	DosePl *DosePlSummary `json:"dosepl,omitempty"`
+	Wafer  *WaferSummary  `json:"wafer,omitempty"`
 
 	// RuntimeNS is the solve wall time (excludes cached stages).
 	RuntimeNS int64 `json:"runtime_ns"`
+}
+
+// WaferResultOf assembles the versioned result document from a wafer
+// outcome.  The top-level signoff reports the wafer's WORST coupled
+// field (the wafer ships at its slowest chip); the per-field detail and
+// spreads live in the Wafer section.
+func WaferResultOf(spec JobSpec, wr *core.WaferResult) *JobResult {
+	spec = spec.Normalized()
+	worst := 0
+	for i := range wr.Fields {
+		if wr.Fields[i].Coupled.MCTps > wr.Fields[worst].Coupled.MCTps {
+			worst = i
+		}
+	}
+	wf := &wr.Fields[worst]
+	st := wf.Dose.Stats()
+	sum := &WaferSummary{
+		Fields:             len(wr.Fields),
+		Groups:             wr.Groups,
+		TauPs:              wr.TauPs,
+		UniformSpreadPct:   wr.UniformSpreadPct,
+		UncoupledSpreadPct: wr.UncoupledSpreadPct,
+		CoupledSpreadPct:   wr.CoupledSpreadPct,
+		OuterIters:         wr.OuterIters,
+		FieldSolves:        wr.FieldSolves,
+	}
+	if n := len(wr.Residuals); n > 0 {
+		sum.FinalResidualPct = wr.Residuals[n-1]
+	}
+	for i := range wr.Fields {
+		f := &wr.Fields[i]
+		sum.PerField = append(sum.PerField, WaferFieldResult{
+			Col: f.Col, Row: f.Row, BiasNm: f.CDBiasNm,
+			UniformMCTPs:   f.Uniform.MCTps,
+			UncoupledMCTPs: f.Uncoupled.MCTps,
+			MCTPs:          f.Coupled.MCTps,
+			LeakUW:         f.Coupled.LeakUW,
+		})
+	}
+	return &JobResult{
+		Schema:        Schema,
+		Design:        spec.DesignKey(),
+		Mode:          spec.Mode,
+		NominalMCTPs:  wf.Uniform.MCTps,
+		NominalLeakUW: wr.NomLeakUW,
+		MCTPs:         wf.Coupled.MCTps,
+		LeakUW:        wf.Coupled.LeakUW,
+		MCTImpPct:     100 * (1 - wf.Coupled.MCTps/wf.Uniform.MCTps),
+		LeakImpPct:    100 * (1 - wf.Coupled.LeakUW/wr.NomLeakUW),
+		Probes:        wr.FieldSolves,
+		SolverStatus:  "wafer_consensus",
+		Dose: DoseSummary{
+			MinPct:              st.Min,
+			MaxPct:              st.Max,
+			MeanPct:             st.Mean,
+			RMSPct:              st.RMS,
+			MaxNeighborDeltaPct: wf.Dose.MaxNeighborDiff(),
+		},
+		Wafer:     sum,
+		RuntimeNS: int64(wr.Runtime),
+	}
 }
 
 // ResultOf assembles the versioned result document from a flow outcome.

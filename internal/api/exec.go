@@ -106,6 +106,22 @@ func Execute(ctx context.Context, art Artifacts, spec JobSpec) (*JobResult, *cor
 	if err != nil {
 		return nil, nil, err
 	}
+	if spec.Mode == ModeWafer {
+		wopt, err := spec.WaferOptions()
+		if err != nil {
+			return nil, nil, err
+		}
+		wctx, sp := obs.Start(ctx, "flow/wafer")
+		wr, err := core.SolveWafer(wctx, core.WaferRequest{Compiled: art.Compiled, Opt: opt, Wafer: wopt})
+		sp.End()
+		if err != nil {
+			return nil, nil, err
+		}
+		res := WaferResultOf(spec, wr)
+		out := &core.FlowOutcome{Golden: art.Golden, Model: art.Model,
+			Final: core.Eval{MCTps: res.MCTPs, LeakUW: res.LeakUW}}
+		return res, out, nil
+	}
 	mode, err := spec.FlowMode()
 	if err != nil {
 		return nil, nil, err

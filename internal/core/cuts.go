@@ -85,6 +85,11 @@ type cutSolver struct {
 
 	nG   int
 	nVar int
+	// clampN bounds the post-solve box clamp: only variables below this
+	// index are dose variables subject to [DoseLo, DoseHi].  The wafer
+	// consensus formulation appends auxiliary slit-profile variables
+	// (column means and deviations) that must not be clamped.
+	clampN int
 
 	// pd is the cutSolver's own copy of the compiled objective diagonal
 	// (tests perturb it in place to build degenerate instances); q is the
@@ -287,7 +292,7 @@ func (cs *cutSolver) recordTangent(tau, obj float64, y []float64) {
 func newCutSolverCompiled(c *Compiled, opt Options) *cutSolver {
 	cs := &cutSolver{
 		comp: c, opt: opt,
-		nG: c.NG, nVar: c.NVar,
+		nG: c.NG, nVar: c.NVar, clampN: c.NVar,
 		pd:   append([]float64(nil), c.cutPD...),
 		q:    c.doseQ,
 		pool: &cutPool{seen: make(map[string]bool)},
@@ -483,8 +488,9 @@ func (cs *cutSolver) solveTau(ctx context.Context, tau, xiNW float64) (obj float
 		}
 		cs.saveDuals(res.Y)
 		copy(cs.x, res.X)
-		// Clamp numerical box slop before evaluating timing.
-		for j := 0; j < cs.nVar; j++ {
+		// Clamp numerical box slop before evaluating timing (dose
+		// variables only — auxiliary consensus variables are unboxed).
+		for j := 0; j < cs.clampN; j++ {
 			cs.x[j] = clamp(cs.x[j], opt.DoseLo, opt.DoseHi)
 		}
 		o := cs.objective(cs.x)

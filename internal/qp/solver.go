@@ -527,6 +527,22 @@ func (s *Solver) WarmStart(x, y []float64) error {
 	return nil
 }
 
+// UpdateLinear replaces the objective's linear term q (unscaled)
+// without re-equilibrating or refactorizing: q enters only the x-step
+// right-hand side, so the cached K = P + σI + ρAᵀA factorization stays
+// valid.  Used by the wafer consensus-ADMM outer loop, whose penalty
+// target moves every iteration while the matrices do not.  The caller's
+// original Problem.Q should be updated in tandem (Objective reads it).
+func (s *Solver) UpdateLinear(q []float64) error {
+	if len(q) != s.n {
+		return fmt.Errorf("qp: linear term has length %d, want %d", len(q), s.n)
+	}
+	for j := 0; j < s.n; j++ {
+		s.q[j] = q[j] * s.d[j] / s.cinv
+	}
+	return nil
+}
+
 // UpdateBounds replaces the constraint bounds (unscaled) without
 // re-equilibrating, preserving warm-start state.  Used by the QCP
 // bisection, which only moves the clock-period bound between probes.

@@ -73,17 +73,26 @@ func (c *Cache) GetOrBuild(ctx context.Context, key string, build func(ctx conte
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.built {
+		// Demand side: a hit.  Supply side: the value is reused — built
+		// earlier in this residency, possibly by a caller this one was
+		// just queued behind.  Every served request ticks exactly one
+		// counter of each pair, so hits+misses == builds+reuses is an
+		// accounting invariant the load soak asserts.
 		c.touch(e)
 		c.rec.Add("serve/cache_hits", 1)
+		c.rec.Add("serve/cache_reuses", 1)
 		return e.val, true, e.err
 	}
 	val, bytes, err := build(ctx)
 	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		// Aborted builds are not cached and not counted: the request was
+		// not served, so neither pair advances.
 		return val, false, err
 	}
 	e.built, e.val, e.err, e.bytes = true, val, err, bytes
 	c.insert(e)
 	c.rec.Add("serve/cache_misses", 1)
+	c.rec.Add("serve/cache_builds", 1)
 	return val, false, err
 }
 

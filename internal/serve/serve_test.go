@@ -493,3 +493,48 @@ func TestHTTPJobDedupe(t *testing.T) {
 		t.Fatalf("rerun result differs from shared result:\n  rerun  %s\n  shared %s", got, want)
 	}
 }
+
+// TestHTTPWaferJob: wafer-mode jobs flow through the same cached
+// Prepare/Execute path as qp/qcp jobs — the daemon runs a tiny
+// 12-field consensus wafer, returns the per-field summary, and the
+// document is bit-identical to the direct in-process run.
+func TestHTTPWaferJob(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{MaxRunning: 1})
+	spec := api.JobSpec{Design: "AES-65", Scale: 0.05, Mode: api.ModeWafer,
+		Wafer: &api.WaferSpec{FieldWmm: 58, FieldHmm: 58, CenterNm: -2, EdgeNm: 4}}
+
+	resp, body := postJSON(t, ts.URL+"/v1/solve", spec)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("wafer solve: %d %s", resp.StatusCode, body)
+	}
+	var res api.JobResult
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatalf("solve body: %v", err)
+	}
+	w := res.Wafer
+	if w == nil {
+		t.Fatal("wafer job returned no wafer summary")
+	}
+	if w.Fields != 12 || len(w.PerField) != 12 {
+		t.Fatalf("wafer summary has %d fields (%d detailed), want 12", w.Fields, len(w.PerField))
+	}
+	if !(w.CoupledSpreadPct < w.UncoupledSpreadPct && w.CoupledSpreadPct < w.UniformSpreadPct) {
+		t.Fatalf("coupled spread %.4f%% not below baselines (uniform %.3f%%, uncoupled %.3f%%)",
+			w.CoupledSpreadPct, w.UniformSpreadPct, w.UncoupledSpreadPct)
+	}
+
+	ref, _, err := api.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatalf("direct wafer run: %v", err)
+	}
+	if got, want := resultFingerprint(t, &res), resultFingerprint(t, ref); got != want {
+		t.Fatalf("wafer result differs from direct path:\n  http   %s\n  direct %s", got, want)
+	}
+
+	// Wafer knobs on a non-wafer job must be rejected at the door.
+	bad := testSpec()
+	bad.Wafer = &api.WaferSpec{}
+	if resp, _ := postJSON(t, ts.URL+"/v1/jobs", bad); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("wafer knobs on qp job: %d, want 400", resp.StatusCode)
+	}
+}
