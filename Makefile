@@ -37,12 +37,13 @@ bench:
 # backend).  Built as a binary (not `go run`) so the toolchain stamps
 # vcs.revision into the report's git_rev field.  Also runs the CG vs
 # LDLᵀ micro-benchmark on the cut-pool matrix, the parallel numeric
-# factorization sweep, and the τ-Newton bisection benchmark.
+# factorization sweep, the multi-RHS supernodal solve sweep, and the
+# τ-Newton bisection benchmark.
 bench-json:
 	$(GO) test ./internal/core/ -run '^$$' -bench 'LinSys|TauNewton|WaferSolve' -benchtime 3x
-	$(GO) test ./internal/qp/ -run '^$$' -bench LDLTParallelFactor -benchtime 20x
+	$(GO) test ./internal/qp/ -run '^$$' -bench 'LDLTParallelFactor|SupernodalSolve' -benchtime 20x
 	$(GO) build -o tables.bin ./cmd/tables
-	./tables.bin -scale 0.15 -k 2000 -which iv -bench-json BENCH_pr8.json
+	./tables.bin -scale 0.15 -k 2000 -which iv -bench-json BENCH_pr9.json
 	rm -f tables.bin
 
 # Tiny wafer end-to-end: the 12-field consensus smoke plus the

@@ -97,7 +97,54 @@ func TestObsEnabledBitwiseInert(t *testing.T) {
 	if snap.Counters["qp/factorizations"]+snap.Counters["qp/factor_cache_hits"] == 0 {
 		t.Error("no LDLᵀ factor counters recorded in enabled run")
 	}
+	// Supernodal hot-path telemetry: the dense panel kernels always do
+	// work on the dose-map systems, and the solver records the supernode
+	// partition shape of its live factor after every solve.
+	if snap.Counters["qp/dense_flops"] == 0 {
+		t.Error("qp/dense_flops empty in enabled run")
+	}
+	for _, g := range []string{"qp/supernodes", "qp/supernode_cols_max"} {
+		if snap.Gauges[g] == 0 {
+			t.Errorf("supernode gauge %s empty in enabled run", g)
+		}
+	}
 	if len(snap.Spans) == 0 {
 		t.Error("no spans recorded in enabled run")
+	}
+}
+
+// TestWaferObsBitwiseInert extends the no-interference proof to the
+// wafer consensus path and pins the multi-RHS batching telemetry: the
+// coupled solve must be bit-identical with and without a Recorder, and
+// the enabled run must show the lockstep batch actually firing
+// (qp/solve_batches > 0 with more right-hand sides than batches — the
+// whole point of sharing the factor across a column group).
+func TestWaferObsBitwiseInert(t *testing.T) {
+	comp := waferComp(t, 0.05)
+	run := func(ctx context.Context) *WaferResult {
+		opt := DefaultOptions()
+		opt.Workers = 2
+		r, err := SolveWafer(ctx, WaferRequest{Compiled: comp, Opt: opt, Wafer: smokeWafer()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	off := run(context.Background())
+	rec := obs.New()
+	on := run(obs.With(context.Background(), rec))
+	waferBitsEq(t, off, on)
+
+	snap := rec.Snapshot()
+	batches := snap.Counters["qp/solve_batches"]
+	rhs := snap.Counters["qp/solve_rhs"]
+	if batches == 0 {
+		t.Error("qp/solve_batches empty: wafer consensus never used the multi-RHS path")
+	}
+	if rhs <= batches {
+		t.Errorf("qp/solve_rhs = %d not above qp/solve_batches = %d: batches carried no extra right-hand sides", rhs, batches)
+	}
+	if snap.Counters["qp/batch_lockstep_solves"] == 0 {
+		t.Error("qp/batch_lockstep_solves empty: column groups always fell back to sequential solves")
 	}
 }

@@ -338,14 +338,23 @@ func solveWaferGroup(ctx context.Context, base *Compiled, opt Options, gr waferG
 		u, e  []float64
 		bias  float64
 	}
+	// One cut pool for the whole group: path cuts are linearizations of
+	// a linear timing model, hence valid for every member, and a shared
+	// pool is what lets the members' constraint matrices stay bitwise
+	// identical round over round — the precondition for collapsing the
+	// per-member QP solves into one multi-RHS lockstep batch.
+	pool := &cutPool{seen: make(map[string]bool)}
 	members := make([]*member, len(gr.biases))
+	css := make([]*cutSolver, len(gr.biases))
 	for i, b := range gr.biases {
 		fc, fopt, eBase := deriveConsensus(base, opt, b/tech.DoseSensitivity, rhoW)
 		cs := newCutSolverCompiled(fc, fopt)
 		cs.clampN = nG
 		cs.privatizeLinear()
+		cs.pool = pool
 		members[i] = &member{cs: cs, eBase: eBase,
 			u: make([]float64, nCols), e: make([]float64, nCols), bias: b}
+		css[i] = cs
 	}
 
 	wSum := 0.0
@@ -361,9 +370,13 @@ func solveWaferGroup(ctx context.Context, base *Compiled, opt Options, gr waferG
 			if err := m.cs.refreshLinear(); err != nil {
 				return nil, err
 			}
-			if _, feasible, err := m.cs.solveTau(ctx, tau, math.Inf(1)); err != nil {
-				return nil, err
-			} else if !feasible {
+		}
+		_, feas, err := solveTauGroup(ctx, css, tau)
+		if err != nil {
+			return nil, err
+		}
+		for i, m := range members {
+			if !feas[i] {
 				return nil, fmt.Errorf("core: wafer field (bias %.2f nm) infeasible at τ̄ = %.1f ps", m.bias, tau)
 			}
 			slitDeviation(m.cs.x[:nG], grid, m.e)
@@ -402,7 +415,9 @@ func solveWaferGroup(ctx context.Context, base *Compiled, opt Options, gr waferG
 
 	// Polish: pin the penalty target at the final consensus and boost
 	// the penalty, then adjust each grid column exactly onto z so every
-	// field of the column exits with the same slit profile.
+	// field of the column exits with the same slit profile.  The pinned
+	// target is the SHARED consensus, so the polished linear terms are
+	// identical across members and the rebuilt family batches again.
 	for _, m := range members {
 		cs := m.cs
 		for j := 0; j < nCols; j++ {
@@ -410,11 +425,18 @@ func solveWaferGroup(ctx context.Context, base *Compiled, opt Options, gr waferG
 			cs.q[m.eBase+j] = -cs.pd[m.eBase+j] * out.z[j]
 		}
 		cs.resetSolver() // the penalty diagonal changed: rebuild once
-		if _, feasible, err := cs.solveTau(ctx, tau, math.Inf(1)); err != nil {
-			return nil, err
-		} else if !feasible {
+	}
+	_, feas, err := solveTauGroup(ctx, css, tau)
+	if err != nil {
+		return nil, err
+	}
+	for i, m := range members {
+		if !feas[i] {
 			return nil, fmt.Errorf("core: wafer polish (bias %.2f nm) infeasible at τ̄ = %.1f ps", m.bias, tau)
 		}
+	}
+	for _, m := range members {
+		cs := m.cs
 		out.solves++
 		slitDeviation(cs.x[:nG], grid, m.e)
 		for j := 0; j < nCols; j++ {

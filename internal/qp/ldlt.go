@@ -18,19 +18,33 @@
 // hot path: the cut QP's KKT matrix is τ-invariant, so whole bisection
 // probes run on a single factor.
 //
-// The numeric kernel is a LEFT-LOOKING per-column factorization over a
-// pattern that the symbolic phase makes fully explicit: column k of L
-// is assembled from the lower column k of K minus one update per
-// nonzero of row k of L, each update reading only columns that are
-// proper descendants of k in the elimination tree.  Because the
-// per-column accumulation order is fixed by the precomputed row-major
-// view of L (ascending source column, then ascending position), the
-// result is bit-identical no matter how columns are scheduled — which
-// is what lets the numeric phase and both triangular solves run in
-// parallel across elimination-tree LEVEL SETS (all columns of equal
-// etree height are mutually independent) while keeping the package-wide
-// determinism contract: identical bits for workers 1..N.  No pivoting
-// is needed because K is symmetric positive definite for σ > 0, ρ > 0.
+// The numeric phase is SUPERNODAL: the symbolic phase groups maximal
+// chains of elimination-tree columns with identical below-diagonal
+// pattern (relaxed by amalgamation up to a small fill budget, see
+// amalgMaxTiny/amalgZeroFrac) into supernodes, and stores each
+// supernode's columns contiguously in a dense column-major panel.  The
+// left-looking kernel then assembles column k of L from the lower
+// column k of K minus one update per nonzero of row k of L — external
+// updates stream the SOURCE supernode's panel contiguously, internal
+// updates are dense rank-1 sweeps inside the panel — and the
+// triangular solves run as dense unit-lower diagonal-block solves plus
+// dense panel-times-vector updates, two contiguous arrays instead of
+// the scalar gather through li/lx.  Padded panel slots introduced by
+// amalgamation hold exact zeros, whose updates are bitwise inert, so
+// the per-element accumulation order (ascending source column, fixed
+// by the symbolic views) is unchanged from the scalar kernel: results
+// stay bit-identical no matter how supernodes are scheduled.  That is
+// what lets the numeric phase and both triangular solves run in
+// parallel across SUPERNODAL level sets (supernodes of equal height in
+// the supernodal etree are mutually independent) while keeping the
+// package-wide determinism contract: identical bits for workers 1..N.
+// No pivoting is needed because K is symmetric positive definite for
+// σ > 0, ρ > 0.
+//
+// Multi-RHS solves (SolveBatchW) stream the factor through cache once
+// per supernode for the whole right-hand-side block instead of once
+// per RHS — the wafer consensus loop batches its per-member x-steps
+// through this path.
 package qp
 
 import (
@@ -66,21 +80,68 @@ type ldltFactor struct {
 	lnz    []int
 	lp     []int // column pointers of L, len n+1
 
-	// Numeric factors: strictly lower L (CSC, rows sorted ascending
-	// within a column — li is filled symbolically, so only lx and d
-	// change between refactorizations) and diagonal D.
+	// Pattern of the strictly lower L (CSC, rows sorted ascending
+	// within a column, filled symbolically) and the numeric diagonal D.
+	// The numeric off-diagonal values live in the supernodal panels
+	// (px); cscPos maps each CSC position into its panel slot.
 	li []int
-	lx []float64
 	d  []float64
+
+	// Supernodal partition: supernode s covers columns
+	// [sPtr[s], sPtr[s+1]) and snode[k] is the supernode of column k.
+	// sRows[sRowPtr[s]:sRowPtr[s+1]] are the below-panel rows of
+	// supernode s — the structure of its LAST column, which contains
+	// every member column's structure below the panel (the columns form
+	// an etree chain).
+	sPtr    []int
+	snode   []int
+	sRowPtr []int
+	sRows   []int
+
+	// Dense panels: supernode s with width w and r below-panel rows is
+	// a column-major w×(w+r) panel at px[pOff[s]:pOff[s]+w*(w+r)].
+	// Column k of the supernode (kk = k−sPtr[s], leading dimension
+	// ld = w+r) stores L[sPtr[s]+i, k] at slot kk*ld+i for i in (kk, w)
+	// and L[sRows[i−w], k] at slot kk*ld+i for i in [w, ld).  Slots on
+	// or above the diagonal and slots padded in by amalgamation hold
+	// exact zeros, whose updates are bitwise inert.  cscPos[p] is the
+	// panel slot of CSC position p; rowSlot[t] = cscPos[rowPos[t]]
+	// addresses panels straight from the row-major view.  extEnd[k]
+	// splits row k of L into external entries (source column in an
+	// earlier supernode, t < extEnd[k]) and internal ones.
+	pOff    []int
+	px      []float64
+	cscPos  []int
+	rowSlot []int
+	extEnd  []int
+
+	// Supernodal elimination-tree level sets (the parallel schedule):
+	// sLevelNode[sLevelPtr[l]:sLevelPtr[l+1]] are the supernodes of
+	// height l, ascending; sLevelCols[l] is the total column count of
+	// level l (the dispatch-gate metric, mirroring the scalar gate).
+	sLevelPtr  []int
+	sLevelNode []int
+	sLevelCols []int
+	nSLevels   int
+
+	// Analytics from the supernodal symbolic phase: dense-equivalent
+	// flop counts of one numeric factorization (Σ lnz·(lnz+3)) and of
+	// one two-sweep triangular solve (4·Σ panel entries), the widest
+	// supernode, and the longest below-panel row list (solve-scratch
+	// size).
+	denseFactorFlops int64
+	denseSolveFlops  int64
+	maxSuperCols     int
+	maxRows          int
 
 	// Row-major view of the strictly lower L: row k holds the columns
 	// j < k with L[k,j] ≠ 0 (ascending j) and, aligned, the position of
-	// that entry inside li/lx.  This is both the update list of the
+	// that entry inside li.  This is the external-update list of the
 	// left-looking numeric kernel and the gather list of the pull-mode
-	// forward solve.  rowVal caches lx in row-major order (rowVal[t] =
-	// lx[rowPos[t]], refreshed lazily per numeric generation) so the
-	// forward solve streams values sequentially instead of gathering
-	// through rowPos on every ADMM iteration.
+	// parallel forward solve.  rowVal caches the numeric values in
+	// row-major order (rowVal[t] = px[rowSlot[t]], refreshed lazily per
+	// numeric generation, parallel solves only) so the pull-mode sweep
+	// streams values sequentially.
 	rowPtr []int // len n+1
 	rowCol []int
 	rowPos []int
@@ -103,19 +164,24 @@ type ldltFactor struct {
 	levelNode []int
 	nLevels   int
 
-	// lastParLevels counts the level sets the most recent RefactorW
-	// dispatched through the worker pool (0 on serial runs) — the
-	// qp/parallel_factor_levels telemetry feed.
+	// lastParLevels counts the SUPERNODAL level sets the most recent
+	// RefactorW dispatched through the worker pool (0 on serial runs) —
+	// the qp/parallel_factor_levels telemetry feed.
 	lastParLevels int
 
 	// Scratch reused across factorizations and solves.  w backs the
-	// serial numeric kernel and every solve; wk holds one all-zero
-	// dense workspace per factorization worker (the column kernel
-	// restores its workspace to zero on every path, so the buffers
-	// never need re-clearing between levels).
+	// serial numeric kernel and every single-RHS solve; wk holds one
+	// all-zero dense workspace per factorization worker (the supernode
+	// kernel restores its workspace to zero on every path, so the
+	// buffers never need re-clearing between levels); tb holds one
+	// below-panel gather buffer (len maxRows) per solve worker; wb
+	// holds one dense workspace per right-hand side of a batched
+	// solve.
 	flag []int
 	w    []float64
 	wk   [][]float64
+	tb   [][]float64
+	wb   [][]float64
 }
 
 // upperEntry is one upper-triangular entry contribution before
@@ -685,10 +751,8 @@ func (f *ldltFactor) symbolic() {
 	nnz := f.lp[n]
 	if cap(f.li) < nnz {
 		f.li = make([]int, nnz)
-		f.lx = make([]float64, nnz)
 	} else {
 		f.li = f.li[:nnz]
-		f.lx = f.lx[:nnz]
 	}
 	if f.d == nil {
 		f.d = make([]float64, n)
@@ -792,36 +856,250 @@ func (f *ldltFactor) symbolic() {
 		fill[l]++
 	}
 
+	// Supernodal partition, dense panels and the supernodal schedule —
+	// everything the blocked numeric kernels address through.
+	f.buildSupernodes()
+
 	// The pattern moved: any row-major value cache is stale.
 	f.numGen = 0
 	f.rowGen = -1
 }
 
-// syncRowVal refreshes the row-major copy of lx after a numeric change
-// (refactorization or cache restore), so the forward solve reads
-// values sequentially.  One nnz(L) gather per factor amortized over
-// the hundreds of ADMM iterations that solve against it.
+// buildSupernodes partitions the columns into supernodes, lays out the
+// dense panels, and compiles every index view the blocked kernels use.
+//
+// Detection starts from FUNDAMENTAL supernodes — column k extends the
+// block of k−1 exactly when parent[k−1] == k and lnz[k−1] == lnz[k]+1,
+// i.e. column k−1's below-diagonal structure is {k} ∪ struct(k) — and
+// then amalgamates: a group [a..b] absorbs the next fundamental block
+// ending at c when parent[b] == b+1 (the chain continues) and either
+// the merged width stays at most amalgMaxTiny, or the padding the
+// merge introduces stays within amalgZeroFrac of the merged panel
+// (width·R + width·(width−1)/2 entries with R = lnz[c], versus
+// Σ lnz[k] true entries).  Because every group is an etree chain,
+// struct(k) below the group is contained in the structure of the LAST
+// column, so the last column's row list is the below-panel row list of
+// the whole supernode and padded slots hold exact zeros.
+func (f *ldltFactor) buildSupernodes() {
+	n := f.n
+	nnz := f.lp[n]
+
+	// Fundamental block starts (sentinel n closes the last block).
+	fund := make([]int, 0, n+1)
+	for k := 0; k < n; k++ {
+		if k == 0 || f.parent[k-1] != k || f.lnz[k-1] != f.lnz[k]+1 {
+			fund = append(fund, k)
+		}
+	}
+	fund = append(fund, n)
+
+	// Amalgamation over fundamental blocks, greedy left to right.
+	lnzSum := make([]int, n+1)
+	for k := 0; k < n; k++ {
+		lnzSum[k+1] = lnzSum[k] + f.lnz[k]
+	}
+	sPtr := make([]int, 0, len(fund))
+	sPtr = append(sPtr, 0)
+	for bi := 0; bi+1 < len(fund); {
+		a := fund[bi]
+		ci := bi + 1
+		for ci+1 < len(fund) {
+			b := fund[ci] - 1   // last column of the current group
+			c := fund[ci+1] - 1 // last column of the candidate block
+			if f.parent[b] != b+1 {
+				break
+			}
+			width := c - a + 1
+			panelEntries := width*f.lnz[c] + width*(width-1)/2
+			padding := panelEntries - (lnzSum[c+1] - lnzSum[a])
+			frac := float64(padding) / float64(panelEntries)
+			if frac > amalgZeroFrac && (width > amalgMaxTiny || frac > amalgTinyFrac) {
+				break
+			}
+			ci++
+		}
+		sPtr = append(sPtr, fund[ci])
+		bi = ci
+	}
+	f.sPtr = sPtr
+	ns := len(sPtr) - 1
+
+	f.snode = growInts(f.snode, n)
+	for s := 0; s < ns; s++ {
+		for k := sPtr[s]; k < sPtr[s+1]; k++ {
+			f.snode[k] = s
+		}
+	}
+
+	// Below-panel rows: the structure of each supernode's last column.
+	f.sRowPtr = growInts(f.sRowPtr, ns+1)
+	f.sRowPtr[0] = 0
+	for s := 0; s < ns; s++ {
+		f.sRowPtr[s+1] = f.sRowPtr[s] + f.lnz[sPtr[s+1]-1]
+	}
+	f.sRows = growInts(f.sRows, f.sRowPtr[ns])
+	for s := 0; s < ns; s++ {
+		last := sPtr[s+1] - 1
+		copy(f.sRows[f.sRowPtr[s]:f.sRowPtr[s+1]], f.li[f.lp[last]:f.lp[last+1]])
+	}
+
+	// Panel offsets and storage.  Padded slots must be exact zeros and
+	// the numeric kernels only ever write true-entry slots, so the
+	// buffer is cleared once here and stays clean forever after.
+	f.pOff = growInts(f.pOff, ns+1)
+	off := 0
+	for s := 0; s < ns; s++ {
+		f.pOff[s] = off
+		width := sPtr[s+1] - sPtr[s]
+		off += width * (width + f.sRowPtr[s+1] - f.sRowPtr[s])
+	}
+	f.pOff[ns] = off
+	if cap(f.px) < off {
+		f.px = make([]float64, off)
+	} else {
+		f.px = f.px[:off]
+		clear(f.px)
+	}
+
+	// CSC position → panel slot.  Rows inside the panel map by offset;
+	// rows below merge against the sorted sRows list.
+	f.cscPos = growInts(f.cscPos, nnz)
+	for s := 0; s < ns; s++ {
+		c0, c1 := sPtr[s], sPtr[s+1]
+		width := c1 - c0
+		srows := f.sRows[f.sRowPtr[s]:f.sRowPtr[s+1]]
+		ld := width + len(srows)
+		for k := c0; k < c1; k++ {
+			colBase := f.pOff[s] + (k-c0)*ld
+			ri := 0
+			for p := f.lp[k]; p < f.lp[k+1]; p++ {
+				if i := f.li[p]; i < c1 {
+					f.cscPos[p] = colBase + (i - c0)
+				} else {
+					for srows[ri] != i {
+						ri++
+					}
+					f.cscPos[p] = colBase + width + ri
+				}
+			}
+		}
+	}
+	f.rowSlot = growInts(f.rowSlot, nnz)
+	for t, p := range f.rowPos {
+		f.rowSlot[t] = f.cscPos[p]
+	}
+
+	// Split each L row into external (earlier supernode) and internal
+	// entries; rowCol is ascending, so one scan finds the boundary.
+	f.extEnd = growInts(f.extEnd, n)
+	for k := 0; k < n; k++ {
+		c0 := sPtr[f.snode[k]]
+		t := f.rowPtr[k]
+		for t < f.rowPtr[k+1] && f.rowCol[t] < c0 {
+			t++
+		}
+		f.extEnd[k] = t
+	}
+
+	// Supernodal etree level sets by height.  The parent supernode of s
+	// is the supernode of parent[last column of s] (always > s, columns
+	// being contiguous), so one ascending pass settles all heights.
+	slev := make([]int, ns)
+	f.nSLevels = 0
+	for s := 0; s < ns; s++ {
+		if p := f.parent[sPtr[s+1]-1]; p >= 0 {
+			if sp := f.snode[p]; slev[s]+1 > slev[sp] {
+				slev[sp] = slev[s] + 1
+			}
+		}
+		if slev[s]+1 > f.nSLevels {
+			f.nSLevels = slev[s] + 1
+		}
+	}
+	f.sLevelPtr = growInts(f.sLevelPtr, f.nSLevels+1)
+	clear(f.sLevelPtr)
+	for s := 0; s < ns; s++ {
+		f.sLevelPtr[slev[s]+1]++
+	}
+	for l := 0; l < f.nSLevels; l++ {
+		f.sLevelPtr[l+1] += f.sLevelPtr[l]
+	}
+	f.sLevelNode = growInts(f.sLevelNode, ns)
+	f.sLevelCols = growInts(f.sLevelCols, f.nSLevels)
+	clear(f.sLevelCols)
+	fillS := make([]int, f.nSLevels)
+	for s := 0; s < ns; s++ {
+		l := slev[s]
+		f.sLevelNode[f.sLevelPtr[l]+fillS[l]] = s
+		fillS[l]++
+		f.sLevelCols[l] += sPtr[s+1] - sPtr[s]
+	}
+
+	// Analytics and scratch sizing.
+	f.maxSuperCols, f.maxRows = 0, 0
+	var solveFlops, factorFlops int64
+	for s := 0; s < ns; s++ {
+		width := sPtr[s+1] - sPtr[s]
+		r := f.sRowPtr[s+1] - f.sRowPtr[s]
+		if width > f.maxSuperCols {
+			f.maxSuperCols = width
+		}
+		if r > f.maxRows {
+			f.maxRows = r
+		}
+		solveFlops += int64(4) * int64(width*(width-1)/2+width*r)
+	}
+	for k := 0; k < n; k++ {
+		factorFlops += int64(f.lnz[k]) * int64(f.lnz[k]+3)
+	}
+	f.denseSolveFlops = solveFlops
+	f.denseFactorFlops = factorFlops
+	f.tb = nil // gather buffers are sized maxRows, which just moved
+}
+
+// syncRowVal refreshes the row-major copy of the factor values after a
+// numeric change (refactorization or cache restore).  Only the
+// PARALLEL pull-mode forward solve reads it — the serial sweeps stream
+// the panels directly — so the nnz(L) gather is paid lazily, never on
+// the serial hot path.
 func (f *ldltFactor) syncRowVal() {
 	if f.rowGen == f.numGen {
 		return
 	}
-	nnz := len(f.rowPos)
+	nnz := len(f.rowSlot)
 	if cap(f.rowVal) < nnz {
 		f.rowVal = make([]float64, nnz)
 	} else {
 		f.rowVal = f.rowVal[:nnz]
 	}
-	for t, p := range f.rowPos {
-		f.rowVal[t] = f.lx[p]
+	for t, slot := range f.rowSlot {
+		f.rowVal[t] = f.px[slot]
 	}
 	f.rowGen = f.numGen
 }
 
-// restore overwrites the numeric factor with a cached snapshot.
-func (f *ldltFactor) restore(lx, d []float64) {
-	copy(f.lx, lx)
-	copy(f.d, d)
+// restore overwrites the numeric factor with a cached snapshot of the
+// panel storage and diagonal.
+// adopt makes px and d the factor's live numeric arrays without
+// copying; the caller manages buffer ownership.  Both must be full
+// same-pattern arrays: px with the padded slots zero (any buffer that
+// held a factor of this pattern qualifies — the kernels never write
+// padding — as does a fresh allocation), d of length n.
+func (f *ldltFactor) adopt(px, d []float64) {
+	f.px = px
+	f.d = d
 	f.numGen++
+}
+
+// factorL materializes the factor's off-diagonal values in CSC order
+// (aligned with li/lp) — the layout FactorEntries and the golden
+// factor-regression tests expect.
+func (f *ldltFactor) factorL() []float64 {
+	l := make([]float64, f.lp[f.n])
+	for p, slot := range f.cscPos {
+		l[p] = f.px[slot]
+	}
+	return l
 }
 
 // growInts resizes an int scratch slice to exactly n elements, reusing
@@ -843,81 +1121,137 @@ func (f *ldltFactor) NNZK() int { return len(f.ki) }
 // phase; the caller falls back to the CG backend.
 var errNotPositiveDefinite = errors.New("qp: ldlt: zero pivot (matrix not positive definite)")
 
-// Parallel dispatch thresholds.  Below minParCols the whole matrix
-// factors serially regardless of the worker budget; a level set is
-// dispatched to the pool only when it holds at least minParLevelCols
-// columns (tiny levels near the etree root run inline — scheduling
-// them costs more than the flops).  Both are fixed constants, never
-// derived from the worker count: they gate WHETHER work is dispatched,
-// and the per-column kernel is schedule-invariant, so the bits match
-// either way.
+// Parallel dispatch thresholds.  Below minParCols total columns the
+// whole matrix factors and solves serially regardless of the worker
+// budget; a supernodal level set is dispatched to the pool only when
+// it covers at least minParLevelCols COLUMNS (sLevelCols — tiny levels
+// near the root run inline, because scheduling them costs more than
+// the flops; gating on column count rather than supernode count keeps
+// the dispatch density of the old scalar schedule).  Both are fixed
+// constants, never derived from the worker count: they gate WHETHER
+// work is dispatched, and the per-supernode kernels are
+// schedule-invariant, so the bits match either way.
+//
+// Amalgamation thresholds.  A supernode absorbs the next fundamental
+// block while the explicit zeros the merge pads into the panel stay
+// within amalgZeroFrac of the merged panel's entries; merges that keep
+// the width at most amalgMaxTiny columns get the looser amalgTinyFrac
+// budget instead, because turning width-1/2 chains into small panels
+// buys more in loop overhead than the padding costs in inert flops.
+// Larger values make wider panels (better dense-kernel throughput,
+// more padding); all three are structure-only decisions, so they
+// cannot affect result bits — padded slots hold exact zeros whose
+// updates are bitwise inert.
 const (
 	minParCols      = 256
 	minParLevelCols = 32
+	amalgMaxTiny    = 8
+	amalgZeroFrac   = 0.125
+	amalgTinyFrac   = 0.25
 )
 
-// column computes column k of L and d[k] by the left-looking update:
-// scatter the lower column k of K = base + ρ·AᵀA into the dense
-// workspace, subtract one rank-1 contribution per nonzero of row k of
-// L (ascending source column — the fixed accumulation order), then
-// scale by the pivot.  It reads only columns that are finalized etree
-// descendants of k and writes only lx[lp[k]:lp[k+1]] and d[k], so
-// columns of one level set run concurrently without synchronization.
-// w must be all-zero on entry and is restored to all-zero on every
-// path, including the zero-pivot abort (reported as false).
-func (f *ldltFactor) column(k int, rho float64, w []float64) bool {
-	for t := f.lowPtr[k]; t < f.lowPtr[k+1]; t++ {
-		s := f.lowSrc[t]
-		w[f.lowRow[t]] = f.baseVal[s] + rho*f.ataVal[s]
-	}
-	dk := w[k]
-	w[k] = 0
-	for t := f.rowPtr[k]; t < f.rowPtr[k+1]; t++ {
-		j, p := f.rowCol[t], f.rowPos[t]
-		lkj := f.lx[p]
-		s := f.d[j] * lkj
-		dk -= lkj * s
-		for q := p + 1; q < f.lp[j+1]; q++ {
-			w[f.li[q]] -= f.lx[q] * s
+// factorSuper runs the left-looking numeric kernel over all columns of
+// supernode s: scatter the lower column k of K = base + ρ·AᵀA into the
+// dense workspace, subtract one rank-1 contribution per nonzero of row
+// k of L — EXTERNAL sources (earlier supernodes, t < extEnd[k]) walk
+// the source panel's contiguous below-panel rows, INTERNAL sources
+// (earlier columns of this panel) are dense in-panel sweeps — then
+// scale by the pivot and gather into the panel column.  Per target
+// element the subtraction order is ascending source column, exactly
+// the scalar kernel's order (row k of L lists external then internal
+// columns, both ascending), and padded source slots contribute exact-
+// zero updates, so the bits match the scalar reference.  It reads only
+// panels of finalized supernodal-etree descendants and writes only its
+// own panel and d range, so supernodes of one level set run
+// concurrently without synchronization.  w must be all-zero on entry
+// and is restored to all-zero on every path, including the zero-pivot
+// abort.  Returns the failing column, or −1 on success.
+func (f *ldltFactor) factorSuper(s int, rho float64, w []float64) int {
+	c0, c1 := f.sPtr[s], f.sPtr[s+1]
+	width := c1 - c0
+	srows := f.sRows[f.sRowPtr[s]:f.sRowPtr[s+1]]
+	ld := width + len(srows)
+	base := f.pOff[s]
+	px := f.px
+	for k := c0; k < c1; k++ {
+		kk := k - c0
+		for t := f.lowPtr[k]; t < f.lowPtr[k+1]; t++ {
+			src := f.lowSrc[t]
+			w[f.lowRow[t]] = f.baseVal[src] + rho*f.ataVal[src]
 		}
-	}
-	end := f.lp[k+1]
-	if dk == 0 {
+		dk := w[k]
+		w[k] = 0
+		for t := f.rowPtr[k]; t < f.extEnd[k]; t++ {
+			slot := f.rowSlot[t]
+			lkj := px[slot]
+			j := f.rowCol[t]
+			sj := f.d[j] * lkj
+			dk -= lkj * sj
+			// Row k sits strictly below the source supernode's columns,
+			// so it is always a below-panel row there: stream the rest
+			// of that contiguous row list.
+			js := f.snode[j]
+			jw := f.sPtr[js+1] - f.sPtr[js]
+			jrows := f.sRows[f.sRowPtr[js]:f.sRowPtr[js+1]]
+			colStart := f.pOff[js] + (j-f.sPtr[js])*(jw+len(jrows))
+			rr := slot - colStart - jw
+			col := px[colStart+jw : colStart+jw+len(jrows)]
+			for r := rr + 1; r < len(jrows); r++ {
+				w[jrows[r]] -= col[r] * sj
+			}
+		}
+		for jj := 0; jj < kk; jj++ {
+			jcol := base + jj*ld
+			lkj := px[jcol+kk]
+			sj := f.d[c0+jj] * lkj
+			dk -= lkj * sj
+			for r := kk + 1; r < width; r++ {
+				w[c0+r] -= px[jcol+r] * sj
+			}
+			bcol := px[jcol+width : jcol+ld]
+			for r, i := range srows {
+				w[i] -= bcol[r] * sj
+			}
+		}
+		end := f.lp[k+1]
+		if dk == 0 {
+			for p := f.lp[k]; p < end; p++ {
+				w[f.li[p]] = 0
+			}
+			return k
+		}
+		f.d[k] = dk
 		for p := f.lp[k]; p < end; p++ {
-			w[f.li[p]] = 0
+			i := f.li[p]
+			px[f.cscPos[p]] = w[i] / dk
+			w[i] = 0
 		}
-		return false
 	}
-	f.d[k] = dk
-	for p := f.lp[k]; p < end; p++ {
-		i := f.li[p]
-		f.lx[p] = w[i] / dk
-		w[i] = 0
-	}
-	return true
+	return -1
 }
 
 // Refactor runs the numeric phase serially for a concrete ρ.
 func (f *ldltFactor) Refactor(rho float64) error { return f.RefactorW(rho, 1) }
 
 // RefactorW runs the numeric phase on up to workers goroutines,
-// scheduling elimination-tree level sets bottom-up: all columns of one
-// level are independent, and every column a level depends on lives in
-// a strictly lower level.  Results are bit-identical for any worker
-// count because each column's arithmetic order is fixed by the
+// scheduling supernodal level sets bottom-up: all supernodes of one
+// level are independent, and every panel a level depends on lives in a
+// strictly lower level.  Results are bit-identical for any worker
+// count because each supernode's arithmetic order is fixed by the
 // symbolic views, not by the schedule.
 func (f *ldltFactor) RefactorW(rho float64, workers int) error {
 	n := f.n
+	ns := len(f.sPtr) - 1
 	f.lastParLevels = 0
 	workers = par.Workers(workers)
-	if workers > n {
-		workers = n
+	if workers > ns {
+		workers = ns
 	}
 	if workers <= 1 || n < minParCols {
 		w := f.w
 		clear(w) // w doubles as the solve vector, so it arrives dirty
-		for k := 0; k < n; k++ {
-			if !f.column(k, rho, w) {
+		for s := 0; s < ns; s++ {
+			if k := f.factorSuper(s, rho, w); k >= 0 {
 				return fmt.Errorf("%w at column %d", errNotPositiveDefinite, k)
 			}
 		}
@@ -931,12 +1265,12 @@ func (f *ldltFactor) RefactorW(rho float64, workers int) error {
 			f.wk[i] = make([]float64, n)
 		}
 	}
-	for l := 0; l < f.nLevels; l++ {
-		lo, hi := f.levelPtr[l], f.levelPtr[l+1]
-		if hi-lo < minParLevelCols {
+	for l := 0; l < f.nSLevels; l++ {
+		lo, hi := f.sLevelPtr[l], f.sLevelPtr[l+1]
+		if f.sLevelCols[l] < minParLevelCols {
 			w := f.wk[0]
 			for t := lo; t < hi; t++ {
-				if k := f.levelNode[t]; !f.column(k, rho, w) {
+				if k := f.factorSuper(f.sLevelNode[t], rho, w); k >= 0 {
 					return fmt.Errorf("%w at column %d", errNotPositiveDefinite, k)
 				}
 			}
@@ -946,8 +1280,7 @@ func (f *ldltFactor) RefactorW(rho float64, workers int) error {
 		var bad atomic.Int64
 		bad.Store(int64(n))
 		par.DoWorker(hi-lo, workers, func(worker, i int) {
-			k := f.levelNode[lo+i]
-			if !f.column(k, rho, f.wk[worker]) {
+			if k := f.factorSuper(f.sLevelNode[lo+i], rho, f.wk[worker]); k >= 0 {
 				// Smallest failing column wins, matching the serial
 				// error regardless of completion order.
 				for {
@@ -966,87 +1299,428 @@ func (f *ldltFactor) RefactorW(rho float64, workers int) error {
 	return nil
 }
 
+// ensureTB sizes the per-worker below-panel gather buffers.
+func (f *ldltFactor) ensureTB(workers int) [][]float64 {
+	for len(f.tb) < workers {
+		f.tb = append(f.tb, make([]float64, f.maxRows))
+	}
+	return f.tb
+}
+
+// ensureWB sizes the per-RHS workspaces of a batched solve.
+func (f *ldltFactor) ensureWB(nrhs int) [][]float64 {
+	for len(f.wb) < nrhs {
+		f.wb = append(f.wb, make([]float64, f.n))
+	}
+	return f.wb
+}
+
+// fwdSuper applies supernode s to the forward solve Lw = b in PUSH
+// mode: a dense unit-lower solve on the diagonal block, then one dense
+// panel-column axpy per column into the below-panel rows, gathered
+// once into tt so the inner loops run over two contiguous arrays.
+// Once a supernode's pushes are out, its own entries are final, so the
+// diagonal scale w ← D⁻¹w is folded in per supernode (the division is
+// element-independent — same bits as a separate pass), saving one full
+// sweep over w per solve.  Every target element accumulates its
+// subtractions in ascending source column — the same per-element order
+// as the scalar pull-mode sweep, with padded slots contributing
+// exact-zero terms — so serial push and parallel pull produce
+// identical bits.
+func (f *ldltFactor) fwdSuper(s int, w, tt []float64) {
+	c0 := f.sPtr[s]
+	width := f.sPtr[s+1] - c0
+	srows := f.sRows[f.sRowPtr[s]:f.sRowPtr[s+1]]
+	ld := width + len(srows)
+	base := f.pOff[s]
+	px := f.px
+	if width == 1 {
+		// Single column: skip the gather/scatter round trip and push
+		// straight into w.
+		wj := w[c0]
+		bcol := px[base+1 : base+ld]
+		for r, i := range srows {
+			w[i] -= bcol[r] * wj
+		}
+		w[c0] = wj / f.d[c0]
+		return
+	}
+	wc := w[c0 : c0+width]
+	// In-panel unit-lower solve, blocked four source columns per pass:
+	// finalize the block's own little triangle first (each value
+	// subtracts its terms in ascending source column, exactly as the
+	// column-at-a-time sweep), then push all four into the remainder of
+	// the panel in one pass — same per-element op sequence, a quarter of
+	// the wc load/store traffic.
+	jj := 0
+	for ; jj+4 <= width; jj += 4 {
+		col0 := px[base+jj*ld : base+jj*ld+width]
+		col1 := px[base+(jj+1)*ld : base+(jj+1)*ld+width]
+		col2 := px[base+(jj+2)*ld : base+(jj+2)*ld+width]
+		col3 := px[base+(jj+3)*ld : base+(jj+3)*ld+width]
+		w0 := wc[jj]
+		w1 := wc[jj+1] - col0[jj+1]*w0
+		w2 := wc[jj+2] - col0[jj+2]*w0
+		w2 -= col1[jj+2] * w1
+		w3 := wc[jj+3] - col0[jj+3]*w0
+		w3 -= col1[jj+3] * w1
+		w3 -= col2[jj+3] * w2
+		wc[jj+1], wc[jj+2], wc[jj+3] = w1, w2, w3
+		for r := jj + 4; r < width; r++ {
+			t := wc[r] - col0[r]*w0
+			t -= col1[r] * w1
+			t -= col2[r] * w2
+			t -= col3[r] * w3
+			wc[r] = t
+		}
+	}
+	for ; jj < width; jj++ {
+		wj := wc[jj]
+		col := px[base+jj*ld : base+jj*ld+width]
+		for r := jj + 1; r < width; r++ {
+			wc[r] -= col[r] * wj
+		}
+	}
+	if len(srows) == 0 {
+		dc := f.d[c0 : c0+width]
+		for jj := range wc {
+			wc[jj] /= dc[jj]
+		}
+		return
+	}
+	tt = tt[:len(srows)]
+	for r, i := range srows {
+		tt[r] = w[i]
+	}
+	// Rank-4 panel update: four columns per pass halve the tt traffic.
+	// Each element still subtracts its terms one by one in ascending
+	// source column — the same op sequence as four separate sweeps, so
+	// the bits are unchanged.  Rows go two per pass: each row's chain is
+	// a serial multiply-subtract dependency, so pairing rows keeps two
+	// independent chains in flight without touching either one's order.
+	for jj = 0; jj+4 <= width; jj += 4 {
+		b0 := px[base+jj*ld+width : base+(jj+1)*ld][:len(tt)]
+		b1 := px[base+(jj+1)*ld+width : base+(jj+2)*ld][:len(tt)]
+		b2 := px[base+(jj+2)*ld+width : base+(jj+3)*ld][:len(tt)]
+		b3 := px[base+(jj+3)*ld+width : base+(jj+4)*ld][:len(tt)]
+		w0, w1, w2, w3 := wc[jj], wc[jj+1], wc[jj+2], wc[jj+3]
+		r := 0
+		for ; r+2 <= len(tt); r += 2 {
+			t0 := tt[r] - b0[r]*w0
+			t1 := tt[r+1] - b0[r+1]*w0
+			t0 -= b1[r] * w1
+			t1 -= b1[r+1] * w1
+			t0 -= b2[r] * w2
+			t1 -= b2[r+1] * w2
+			t0 -= b3[r] * w3
+			t1 -= b3[r+1] * w3
+			tt[r], tt[r+1] = t0, t1
+		}
+		for ; r < len(tt); r++ {
+			t0 := tt[r] - b0[r]*w0
+			t0 -= b1[r] * w1
+			t0 -= b2[r] * w2
+			t0 -= b3[r] * w3
+			tt[r] = t0
+		}
+	}
+	for ; jj+2 <= width; jj += 2 {
+		b0 := px[base+jj*ld+width : base+(jj+1)*ld][:len(tt)]
+		b1 := px[base+(jj+1)*ld+width : base+(jj+2)*ld][:len(tt)]
+		w0, w1 := wc[jj], wc[jj+1]
+		for r := range tt {
+			t0 := tt[r] - b0[r]*w0
+			t0 -= b1[r] * w1
+			tt[r] = t0
+		}
+	}
+	for ; jj < width; jj++ {
+		bcol := px[base+jj*ld+width : base+(jj+1)*ld][:len(tt)]
+		wj := wc[jj]
+		for r := range tt {
+			tt[r] -= bcol[r] * wj
+		}
+	}
+	for r, i := range srows {
+		w[i] = tt[r]
+	}
+	dc := f.d[c0 : c0+width]
+	for jj := range wc {
+		wc[jj] /= dc[jj]
+	}
+}
+
+// fwdPull computes the forward-solve values of supernode s in PULL
+// mode: each column k first gathers its external row entries through
+// the row-major value cache (true entries only, ascending source
+// column), then finishes against the already-final earlier columns of
+// its own panel.  Used by the parallel schedule, where pushing into
+// below-panel rows would race across same-level supernodes; bitwise
+// equal to fwdSuper because every element's subtraction order is
+// ascending source column either way.  Requires syncRowVal.
+func (f *ldltFactor) fwdPull(s int, w []float64) {
+	c0, c1 := f.sPtr[s], f.sPtr[s+1]
+	width := c1 - c0
+	ld := width + f.sRowPtr[s+1] - f.sRowPtr[s]
+	base := f.pOff[s]
+	px := f.px
+	for k := c0; k < c1; k++ {
+		wk := w[k]
+		for t := f.rowPtr[k]; t < f.extEnd[k]; t++ {
+			wk -= f.rowVal[t] * w[f.rowCol[t]]
+		}
+		kk := k - c0
+		for jj := 0; jj < kk; jj++ {
+			wk -= px[base+jj*ld+kk] * w[c0+jj]
+		}
+		w[k] = wk
+	}
+}
+
+// bwdSuper applies supernode s to the backward solve Lᵀw = b.  Each
+// column's accumulation chain subtracts its EXTERNAL terms first (the
+// dense dot against the below-panel rows, gathered once into tt,
+// ascending row) and its in-panel terms second — that convention frees
+// the external phase to run four columns per tt pass with independent
+// accumulators, where the one-chain-per-column form is pure multiply-
+// subtract latency.  The order is fixed per element and identical on
+// the serial sweep and the top-down parallel schedule (same kernel,
+// reads only strictly-later supernodes and finalized own columns), so
+// worker counts cannot change the bits.
+func (f *ldltFactor) bwdSuper(s int, w, tt []float64) {
+	c0 := f.sPtr[s]
+	width := f.sPtr[s+1] - c0
+	srows := f.sRows[f.sRowPtr[s]:f.sRowPtr[s+1]]
+	ld := width + len(srows)
+	base := f.pOff[s]
+	px := f.px
+	if width == 1 {
+		// Single column: one dot straight off w, no gather.
+		wj := w[c0]
+		bcol := px[base+1 : base+ld]
+		for r, i := range srows {
+			wj -= bcol[r] * w[i]
+		}
+		w[c0] = wj
+		return
+	}
+	wc := w[c0 : c0+width]
+	if len(srows) > 0 {
+		tt = tt[:len(srows)]
+		for r, i := range srows {
+			tt[r] = w[i]
+		}
+		// External phase: four independent dot chains per pass.  Each
+		// chain subtracts its terms one by one in ascending row — the
+		// same sequence as a lone dot, so blocking is bitwise inert.
+		jj := 0
+		for ; jj+8 <= width; jj += 8 {
+			b0 := px[base+jj*ld+width : base+(jj+1)*ld][:len(tt)]
+			b1 := px[base+(jj+1)*ld+width : base+(jj+2)*ld][:len(tt)]
+			b2 := px[base+(jj+2)*ld+width : base+(jj+3)*ld][:len(tt)]
+			b3 := px[base+(jj+3)*ld+width : base+(jj+4)*ld][:len(tt)]
+			b4 := px[base+(jj+4)*ld+width : base+(jj+5)*ld][:len(tt)]
+			b5 := px[base+(jj+5)*ld+width : base+(jj+6)*ld][:len(tt)]
+			b6 := px[base+(jj+6)*ld+width : base+(jj+7)*ld][:len(tt)]
+			b7 := px[base+(jj+7)*ld+width : base+(jj+8)*ld][:len(tt)]
+			a0, a1, a2, a3 := wc[jj], wc[jj+1], wc[jj+2], wc[jj+3]
+			a4, a5, a6, a7 := wc[jj+4], wc[jj+5], wc[jj+6], wc[jj+7]
+			for r := range tt {
+				t := tt[r]
+				a0 -= b0[r] * t
+				a1 -= b1[r] * t
+				a2 -= b2[r] * t
+				a3 -= b3[r] * t
+				a4 -= b4[r] * t
+				a5 -= b5[r] * t
+				a6 -= b6[r] * t
+				a7 -= b7[r] * t
+			}
+			wc[jj], wc[jj+1], wc[jj+2], wc[jj+3] = a0, a1, a2, a3
+			wc[jj+4], wc[jj+5], wc[jj+6], wc[jj+7] = a4, a5, a6, a7
+		}
+		for ; jj+4 <= width; jj += 4 {
+			b0 := px[base+jj*ld+width : base+(jj+1)*ld][:len(tt)]
+			b1 := px[base+(jj+1)*ld+width : base+(jj+2)*ld][:len(tt)]
+			b2 := px[base+(jj+2)*ld+width : base+(jj+3)*ld][:len(tt)]
+			b3 := px[base+(jj+3)*ld+width : base+(jj+4)*ld][:len(tt)]
+			a0, a1, a2, a3 := wc[jj], wc[jj+1], wc[jj+2], wc[jj+3]
+			for r := range tt {
+				t := tt[r]
+				a0 -= b0[r] * t
+				a1 -= b1[r] * t
+				a2 -= b2[r] * t
+				a3 -= b3[r] * t
+			}
+			wc[jj], wc[jj+1], wc[jj+2], wc[jj+3] = a0, a1, a2, a3
+		}
+		for ; jj+2 <= width; jj += 2 {
+			b0 := px[base+jj*ld+width : base+(jj+1)*ld][:len(tt)]
+			b1 := px[base+(jj+1)*ld+width : base+(jj+2)*ld][:len(tt)]
+			a0, a1 := wc[jj], wc[jj+1]
+			for r := range tt {
+				t := tt[r]
+				a0 -= b0[r] * t
+				a1 -= b1[r] * t
+			}
+			wc[jj], wc[jj+1] = a0, a1
+		}
+		for ; jj < width; jj++ {
+			bcol := px[base+jj*ld+width : base+(jj+1)*ld][:len(tt)]
+			wj := wc[jj]
+			for r := range tt {
+				wj -= bcol[r] * tt[r]
+			}
+			wc[jj] = wj
+		}
+	}
+	// In-panel phase: the unit-upper dense solve against the now-final
+	// later columns, descending.
+	for jj := width - 2; jj >= 0; jj-- {
+		jcol := base + jj*ld
+		wj := wc[jj]
+		col := px[jcol : jcol+width]
+		for r := jj + 1; r < width; r++ {
+			wj -= col[r] * wc[r]
+		}
+		wc[jj] = wj
+	}
+}
+
+// solveSerial runs the serial sweeps over the permuted workspace in
+// place: push-mode forward (diagonal scale folded in per supernode),
+// then backward.
+func (f *ldltFactor) solveSerial(w, tt []float64) {
+	ns := len(f.sPtr) - 1
+	for s := 0; s < ns; s++ {
+		f.fwdSuper(s, w, tt)
+	}
+	for s := ns - 1; s >= 0; s-- {
+		f.bwdSuper(s, w, tt)
+	}
+}
+
 // Solve overwrites x with K⁻¹ b serially.  x and b may alias.
 func (f *ldltFactor) Solve(x, b []float64) { f.SolveW(x, b, 1) }
 
 // SolveW overwrites x with K⁻¹ b via permute → L solve → D scale → Lᵀ
-// solve → unpermute, on up to workers goroutines.  The forward solve
-// is pull-mode by ROW (row k gathers L[k,j]·w[j] in ascending j — the
-// same element order as the classical push-mode sweep, so the serial
-// bits are unchanged) and the backward solve is pull-mode by column;
-// both parallelize over the same etree level sets as the
-// factorization, forward bottom-up and backward top-down, each element
-// computed by exactly one owner with its operand order fixed.  x and b
+// solve → unpermute, on up to workers goroutines.  The serial path
+// streams the panels push-mode (fwdSuper/bwdSuper); the parallel path
+// runs pull-mode forward (fwdPull, no cross-supernode writes) and the
+// shared backward kernel over supernodal level sets, forward bottom-up
+// and backward top-down, each element computed by exactly one owner
+// with its operand order fixed — identical bits either way.  x and b
 // may alias.
 func (f *ldltFactor) SolveW(x, b []float64, workers int) {
 	n := f.n
+	ns := len(f.sPtr) - 1
 	w := f.w
 	for k := 0; k < n; k++ {
 		w[k] = b[f.perm[k]]
 	}
 	workers = par.Workers(workers)
-	if workers > n {
-		workers = n
+	if workers > ns {
+		workers = ns
 	}
-	f.syncRowVal()
 	if workers <= 1 || n < minParCols {
-		for k := 0; k < n; k++ {
-			wk := w[k]
-			for t := f.rowPtr[k]; t < f.rowPtr[k+1]; t++ {
-				wk -= f.rowVal[t] * w[f.rowCol[t]]
-			}
-			w[k] = wk
-		}
-		for j := 0; j < n; j++ {
-			w[j] /= f.d[j]
-		}
-		for j := n - 1; j >= 0; j-- {
-			wj := w[j]
-			for p := f.lp[j]; p < f.lp[j+1]; p++ {
-				wj -= f.lx[p] * w[f.li[p]]
-			}
-			w[j] = wj
-		}
+		f.solveSerial(w, f.ensureTB(1)[0])
 	} else {
-		fwd := func(k int) {
-			wk := w[k]
-			for t := f.rowPtr[k]; t < f.rowPtr[k+1]; t++ {
-				wk -= f.rowVal[t] * w[f.rowCol[t]]
-			}
-			w[k] = wk
-		}
-		for l := 0; l < f.nLevels; l++ {
-			lo, hi := f.levelPtr[l], f.levelPtr[l+1]
-			if hi-lo < minParLevelCols {
-				for t := lo; t < hi; t++ {
-					fwd(f.levelNode[t])
-				}
-				continue
-			}
-			par.DoWorker(hi-lo, workers, func(_, i int) { fwd(f.levelNode[lo+i]) })
-		}
-		for j := 0; j < n; j++ {
-			w[j] /= f.d[j]
-		}
-		bwd := func(j int) {
-			wj := w[j]
-			for p := f.lp[j]; p < f.lp[j+1]; p++ {
-				wj -= f.lx[p] * w[f.li[p]]
-			}
-			w[j] = wj
-		}
-		for l := f.nLevels - 1; l >= 0; l-- {
-			lo, hi := f.levelPtr[l], f.levelPtr[l+1]
-			if hi-lo < minParLevelCols {
-				for t := lo; t < hi; t++ {
-					bwd(f.levelNode[t])
-				}
-				continue
-			}
-			par.DoWorker(hi-lo, workers, func(_, i int) { bwd(f.levelNode[lo+i]) })
-		}
+		f.solveParallel(w, workers)
 	}
 	for k := 0; k < n; k++ {
 		x[f.perm[k]] = w[k]
 	}
+}
+
+func (f *ldltFactor) solveParallel(w []float64, workers int) {
+	f.syncRowVal()
+	tb := f.ensureTB(workers)
+	for l := 0; l < f.nSLevels; l++ {
+		lo, hi := f.sLevelPtr[l], f.sLevelPtr[l+1]
+		if f.sLevelCols[l] < minParLevelCols {
+			for t := lo; t < hi; t++ {
+				f.fwdPull(f.sLevelNode[t], w)
+			}
+			continue
+		}
+		par.DoWorker(hi-lo, workers, func(_, i int) { f.fwdPull(f.sLevelNode[lo+i], w) })
+	}
+	d := f.d
+	for j := range w {
+		w[j] /= d[j]
+	}
+	for l := f.nSLevels - 1; l >= 0; l-- {
+		lo, hi := f.sLevelPtr[l], f.sLevelPtr[l+1]
+		if f.sLevelCols[l] < minParLevelCols {
+			for t := lo; t < hi; t++ {
+				f.bwdSuper(f.sLevelNode[t], w, tb[0])
+			}
+			continue
+		}
+		par.DoWorker(hi-lo, workers, func(worker, i int) { f.bwdSuper(f.sLevelNode[lo+i], w, tb[worker]) })
+	}
+}
+
+// SolveBatchW overwrites xs[q] with K⁻¹ bs[q] for every right-hand
+// side q, streaming the factor through cache ONCE per supernode for
+// the whole block on the serial path (supernode-outer, RHS-inner) —
+// the point of batching the ADMM x-steps of a wafer consensus group.
+// The parallel path dispatches whole right-hand sides to workers, each
+// running the full serial sweep in its own workspace; every RHS is
+// computed by exactly one owner with the serial kernel sequence, so
+// the result is bitwise identical to nrhs separate SolveW calls at any
+// worker count.  xs[q] and bs[q] may alias.
+func (f *ldltFactor) SolveBatchW(xs, bs [][]float64, workers int) {
+	nrhs := len(xs)
+	if nrhs == 0 {
+		return
+	}
+	if nrhs == 1 {
+		f.SolveW(xs[0], bs[0], workers)
+		return
+	}
+	n := f.n
+	ns := len(f.sPtr) - 1
+	wb := f.ensureWB(nrhs)
+	workers = par.Workers(workers)
+	if workers > nrhs {
+		workers = nrhs
+	}
+	if workers <= 1 {
+		tt := f.ensureTB(1)[0]
+		for q := 0; q < nrhs; q++ {
+			w, b := wb[q], bs[q]
+			for k := 0; k < n; k++ {
+				w[k] = b[f.perm[k]]
+			}
+		}
+		for s := 0; s < ns; s++ {
+			for q := 0; q < nrhs; q++ {
+				f.fwdSuper(s, wb[q], tt)
+			}
+		}
+		for s := ns - 1; s >= 0; s-- {
+			for q := 0; q < nrhs; q++ {
+				f.bwdSuper(s, wb[q], tt)
+			}
+		}
+		for q := 0; q < nrhs; q++ {
+			w, x := wb[q], xs[q]
+			for k := 0; k < n; k++ {
+				x[f.perm[k]] = w[k]
+			}
+		}
+		return
+	}
+	tb := f.ensureTB(workers)
+	par.DoWorker(nrhs, workers, func(worker, q int) {
+		w, b, x := wb[q], bs[q], xs[q]
+		for k := 0; k < n; k++ {
+			w[k] = b[f.perm[k]]
+		}
+		f.solveSerial(w, tb[worker])
+		for k := 0; k < n; k++ {
+			x[f.perm[k]] = w[k]
+		}
+	})
 }

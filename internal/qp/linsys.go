@@ -72,6 +72,12 @@ type linsys interface {
 	// (iterative backends) and stopping at tol.  It returns the inner
 	// iteration count (0 for direct backends).
 	solve(x, b []float64, tol float64) (int, error)
+	// solveBatch solves K x[q] = b[q] for every right-hand side against
+	// one factorization pass: the direct backend streams the factor
+	// through cache once per supernode for the whole block, iterative
+	// backends degrade to per-RHS solves.  Each x[q] is bitwise
+	// identical to a solo solve(x[q], b[q], tol) call.
+	solveBatch(xs, bs [][]float64, tol float64) (int, error)
 	// appendRows re-syncs the backend after rows were appended to s.a.
 	appendRows(fromRow int)
 	// kind names the backend for telemetry.
@@ -105,6 +111,19 @@ func (b *cgBackend) solve(x, bvec []float64, tol float64) (int, error) {
 	return s.cg(x, bvec, tol, b.precond), nil
 }
 
+func (b *cgBackend) solveBatch(xs, bs [][]float64, tol float64) (int, error) {
+	// No factor to stream: a batch is just the member solves in order.
+	total := 0
+	for q := range xs {
+		it, err := b.solve(xs[q], bs[q], tol)
+		total += it
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
 func (b *cgBackend) appendRows(int) {
 	// diagTA already carries the appended rows; just force a
 	// preconditioner rebuild.
@@ -122,15 +141,15 @@ func (b *cgBackend) kind() LinSys { return LinSysCG }
 // through on the way (plus stall-restart returns to the initial rung).
 const defaultFactorCache = 10
 
-// factorSnap is one cached numeric factor: the (lx, d) pair of a
-// finished factorization, keyed by the exact ρ it was computed for and
-// the pattern epoch it belongs to.  Snapshots are immutable once
-// stored; restoring one is two copies of nnz(L)+n floats — orders of
-// magnitude cheaper than the factorization flops it replaces.
+// factorSnap is one cached numeric factor: the (panel storage, d) pair
+// of a finished factorization, keyed by the exact ρ it was computed
+// for and the pattern epoch it belongs to.  Snapshots are immutable
+// once stored; restoring one is two flat copies — orders of magnitude
+// cheaper than the factorization flops it replaces.
 type factorSnap struct {
 	rho   float64
 	epoch int
-	lx    []float64
+	px    []float64
 	d     []float64
 	use   int64
 }
@@ -151,6 +170,17 @@ type ldltBackend struct {
 	cache    []*factorSnap
 	cacheCap int
 	useSeq   int64
+	// Snapshots are stored and restored by pointer swap, never by copy:
+	// aliased is the cache entry whose buffers the live factor currently
+	// uses (nil when the live buffers are private), and freePx/freeD
+	// recycle the buffers of evicted entries for the next numeric
+	// factorization.  Sound because the numeric kernels overwrite every
+	// true-pattern slot and never touch padding, so any same-epoch
+	// buffer (or a fresh zeroed allocation) keeps the padded-zeros
+	// invariant; the pools are dropped with the cache on epoch bumps.
+	aliased *factorSnap
+	freePx  [][]float64
+	freeD   [][]float64
 	// built records the ρ rungs numerically factored in the current
 	// epoch.  It splits the factor counters by the work they represent:
 	// the first build of an (epoch, rung) pair is a factorization —
@@ -185,8 +215,9 @@ func (b *ldltBackend) lookup(rho float64) *factorSnap {
 	return nil
 }
 
-// store snapshots the live factor for ρ, evicting the least-recently
-// used entry at capacity.
+// store snapshots the live factor for ρ by taking ownership of its
+// buffers (zero copies), evicting the least-recently used entry at
+// capacity and recycling the evicted buffers.
 func (b *ldltBackend) store(rho float64) {
 	if b.cacheCap <= 0 {
 		return
@@ -198,44 +229,88 @@ func (b *ldltBackend) store(rho float64) {
 				lru = i
 			}
 		}
+		if ev := b.cache[lru]; ev != b.aliased {
+			b.freePx = append(b.freePx, ev.px)
+			b.freeD = append(b.freeD, ev.d)
+		}
 		b.cache[lru] = b.cache[len(b.cache)-1]
 		b.cache = b.cache[:len(b.cache)-1]
 		b.s.nCacheEvict++
 	}
 	b.useSeq++
-	b.cache = append(b.cache, &factorSnap{
-		rho:   rho,
-		epoch: b.epoch,
-		lx:    append([]float64(nil), b.f.lx...),
-		d:     append([]float64(nil), b.f.d...),
-		use:   b.useSeq,
-	})
+	snap := &factorSnap{rho: rho, epoch: b.epoch, px: b.f.px, d: b.f.d, use: b.useSeq}
+	b.cache = append(b.cache, snap)
+	b.aliased = snap
+}
+
+// ensureFactored makes the live factor current for s.rho: restore a
+// cached snapshot when the rung was factored before in this pattern
+// epoch, run the numeric phase otherwise.
+func (b *ldltBackend) ensureFactored() error {
+	s := b.s
+	if b.factored && b.rho == s.rho {
+		return nil
+	}
+	if snap := b.lookup(s.rho); snap != nil {
+		b.f.adopt(snap.px, snap.d)
+		b.aliased = snap
+		s.nCacheHit++
+	} else {
+		if b.aliased != nil {
+			// The live buffers belong to a cache entry: factor into a
+			// recycled (same-pattern, padding still zero) or fresh pair
+			// so the snapshot survives intact.
+			var px, d []float64
+			if k := len(b.freePx); k > 0 {
+				px, b.freePx = b.freePx[k-1], b.freePx[:k-1]
+				d, b.freeD = b.freeD[k-1], b.freeD[:k-1]
+			} else {
+				px = make([]float64, len(b.f.px))
+				d = make([]float64, len(b.f.d))
+			}
+			b.f.adopt(px, d)
+			b.aliased = nil
+		}
+		if err := b.f.RefactorW(s.rho, s.set.Workers); err != nil {
+			return err
+		}
+		s.nParLevels += int64(b.f.lastParLevels)
+		s.nDenseFlops += b.f.denseFactorFlops
+		if b.built[s.rho] {
+			s.nRefactor++
+		} else {
+			s.nFactor++
+			b.built[s.rho] = true
+		}
+		b.store(s.rho)
+	}
+	b.rho = s.rho
+	b.factored = true
+	return nil
 }
 
 func (b *ldltBackend) solve(x, bvec []float64, _ float64) (int, error) {
-	s := b.s
-	if !b.factored || b.rho != s.rho {
-		if snap := b.lookup(s.rho); snap != nil {
-			b.f.restore(snap.lx, snap.d)
-			s.nCacheHit++
-		} else {
-			if err := b.f.RefactorW(s.rho, s.set.Workers); err != nil {
-				return 0, err
-			}
-			s.nParLevels += int64(b.f.lastParLevels)
-			if b.built[s.rho] {
-				s.nRefactor++
-			} else {
-				s.nFactor++
-				b.built[s.rho] = true
-			}
-			b.store(s.rho)
-		}
-		b.rho = s.rho
-		b.factored = true
+	if err := b.ensureFactored(); err != nil {
+		return 0, err
 	}
+	s := b.s
 	b.f.SolveW(x, bvec, s.set.Workers)
 	s.nTriSolve++
+	s.nDenseFlops += b.f.denseSolveFlops
+	return 0, nil
+}
+
+func (b *ldltBackend) solveBatch(xs, bs [][]float64, _ float64) (int, error) {
+	if err := b.ensureFactored(); err != nil {
+		return 0, err
+	}
+	s := b.s
+	b.f.SolveBatchW(xs, bs, s.set.Workers)
+	nrhs := int64(len(xs))
+	s.nTriSolve += nrhs
+	s.nDenseFlops += nrhs * b.f.denseSolveFlops
+	s.nSolveBatch++
+	s.nSolveRHS += nrhs
 	return 0, nil
 }
 
@@ -243,7 +318,12 @@ func (b *ldltBackend) appendRows(fromRow int) {
 	b.f.AppendRows(b.s.a, fromRow)
 	b.factored = false
 	b.epoch++
-	b.cache = b.cache[:0]
+	// New pattern: snapshots, buffer pools and the alias all describe
+	// the old one.  Dropping the alias makes the live buffers private
+	// again (every snapshot that could claim them is gone).
+	b.cache = nil
+	b.freePx, b.freeD = nil, nil
+	b.aliased = nil
 	clear(b.built)
 }
 
@@ -278,14 +358,15 @@ func (s *Solver) fallbackToCG() {
 }
 
 // FactorEntries exposes a copy of the live LDLᵀ numeric factor — the
-// off-diagonal values of L (in the internal column-compressed order)
-// and the pivot diagonal D — when the x-step backend currently holds
-// one.  It exists for determinism audits: the bit-identity tests
-// compare factors produced at different worker counts entry by entry.
+// off-diagonal values of L (materialized from the supernodal panels
+// into the internal column-compressed order) and the pivot diagonal D
+// — when the x-step backend currently holds one.  It exists for
+// determinism audits: the bit-identity tests compare factors produced
+// at different worker counts entry by entry.
 func (s *Solver) FactorEntries() (l, d []float64, ok bool) {
 	b, isLDLT := s.lin.(*ldltBackend)
 	if !isLDLT || !b.factored {
 		return nil, nil, false
 	}
-	return append([]float64(nil), b.f.lx...), append([]float64(nil), b.f.d...), true
+	return b.f.factorL(), append([]float64(nil), b.f.d...), true
 }

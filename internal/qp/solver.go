@@ -227,6 +227,9 @@ type Solver struct {
 	nCacheEvict  int64
 	nParLevels   int64
 	linFallbacks int64
+	nDenseFlops  int64
+	nSolveBatch  int64
+	nSolveRHS    int64
 
 	// solves counts completed SolveCtx calls; warmed records an explicit
 	// WarmStart.  Together they classify a solve as warm-started (reusing
@@ -255,6 +258,7 @@ func NewSolver(prob *Problem, set Settings) (*Solver, error) {
 	}
 	if prob.A != nil {
 		s.a = prob.A.Clone()
+		s.a.markOneRows()
 		s.l = append([]float64(nil), prob.L...)
 		s.u = append([]float64(nil), prob.U...)
 	} else {
@@ -371,6 +375,7 @@ func (s *Solver) AppendRows(a *CSR, l, u []float64) error {
 
 	mOld := s.m
 	s.a = ConcatRows(s.a, scaled)
+	s.a.markOneRows()
 	s.m = s.a.M
 	for k, col := range scaled.Col {
 		s.diagTA[col] += scaled.Val[k] * scaled.Val[k]
@@ -567,6 +572,114 @@ func (s *Solver) Solve() *Result {
 	return res
 }
 
+// assembleXStepRHS builds the x-step right-hand side
+// σx − q + Aᵀ(ρz − y) into s.rhs (s.tmp is scratch).
+func (s *Solver) assembleXStepRHS() {
+	rho, tmp, z, y := s.rho, s.tmp[:s.m], s.z[:s.m], s.y[:s.m]
+	for i := range tmp {
+		tmp[i] = rho*z[i] - y[i]
+	}
+	sigma := s.set.Sigma
+	rhs, x, q := s.rhs[:s.n], s.x[:s.n], s.q[:s.n]
+	for j := range rhs {
+		rhs[j] = sigma*x[j] - q[j]
+	}
+	s.a.AddMulTVec(s.rhs, s.tmp)
+}
+
+// cgTolFor is the inexact-ADMM tolerance schedule of the iterative
+// x-step backends: loose while the outer residuals are still large,
+// tightening to the configured floor as they fall.  Direct backends
+// ignore the tolerance.
+func cgTolFor(set Settings, lastPrim, lastDual float64) float64 {
+	tol := set.CGTol
+	if lastPrim > 0 {
+		t := 0.05 * math.Min(lastPrim, lastDual)
+		if t > tol {
+			tol = t
+		}
+		if tol > 1e-3 {
+			tol = 1e-3
+		}
+	}
+	return tol
+}
+
+// applyRelaxation applies the over-relaxed ADMM iterate updates after
+// an x-step: x blends toward x̃, z projects the relaxed constraint value
+// onto [l, u], y takes the matching dual step, and the per-row dual
+// movement accumulates into s.dyAcc for the infeasibility certificate.
+func (s *Solver) applyRelaxation() {
+	alpha, beta := s.set.Alpha, 1-s.set.Alpha
+	x, xt := s.x[:s.n], s.xt[:s.n]
+	for j := range x {
+		x[j] = alpha*xt[j] + beta*x[j]
+	}
+	rho := s.rho
+	z, zt, y, l, u, dy := s.z[:s.m], s.zt[:s.m], s.y[:s.m], s.l[:s.m], s.u[:s.m], s.dyAcc[:s.m]
+	for i := range z {
+		zc := alpha*zt[i] + beta*z[i] + y[i]/rho
+		zNew := zc
+		if zNew < l[i] {
+			zNew = l[i]
+		} else if zNew > u[i] {
+			zNew = u[i]
+		}
+		yNew := rho * (zc - zNew)
+		dy[i] += yNew - y[i]
+		z[i] = zNew
+		y[i] = yNew
+	}
+}
+
+// ctrSnap freezes the solver's backend counters at solve entry so the
+// telemetry block can report per-solve deltas.
+type ctrSnap struct {
+	factor, refactor, trisolve, fallback int64
+	cacheHit, cacheEvict, parLevels      int64
+	denseFlops, solveBatch, solveRHS     int64
+}
+
+func (s *Solver) snapCounters() ctrSnap {
+	return ctrSnap{s.nFactor, s.nRefactor, s.nTriSolve, s.linFallbacks,
+		s.nCacheHit, s.nCacheEvict, s.nParLevels,
+		s.nDenseFlops, s.nSolveBatch, s.nSolveRHS}
+}
+
+// emitTelemetry publishes the per-solve observation block: pure
+// observation after the solve, so it cannot perturb the trajectory.
+func (s *Solver) emitTelemetry(ctx context.Context, res *Result, c0 ctrSnap, warm bool) {
+	rec := obs.From(ctx)
+	if rec == nil {
+		return
+	}
+	rec.Add("qp/solves", 1)
+	rec.Add("qp/iterations", int64(res.Iters))
+	rec.Add("qp/cg_iterations", int64(res.CGIters))
+	rec.Add("qp/restarts", int64(res.Restarts))
+	rec.Add("qp/factorizations", s.nFactor-c0.factor)
+	rec.Add("qp/refactorizations", s.nRefactor-c0.refactor)
+	rec.Add("qp/triangular_solves", s.nTriSolve-c0.trisolve)
+	rec.Add("qp/factor_cache_hits", s.nCacheHit-c0.cacheHit)
+	rec.Add("qp/factor_cache_evictions", s.nCacheEvict-c0.cacheEvict)
+	rec.Add("qp/parallel_factor_levels", s.nParLevels-c0.parLevels)
+	rec.Add("qp/linsys_fallbacks", s.linFallbacks-c0.fallback)
+	rec.Add("qp/linsys_"+s.lin.kind().String()+"_solves", 1)
+	rec.Add("qp/dense_flops", s.nDenseFlops-c0.denseFlops)
+	rec.Add("qp/solve_batches", s.nSolveBatch-c0.solveBatch)
+	rec.Add("qp/solve_rhs", s.nSolveRHS-c0.solveRHS)
+	if warm {
+		rec.Add("qp/warm_start_hits", 1)
+	}
+	rec.Set("qp/prim_res", res.PrimRes)
+	rec.Set("qp/dual_res", res.DualRes)
+	rec.Set("qp/linsys_backend", float64(s.lin.kind()))
+	if b, ok := s.lin.(*ldltBackend); ok {
+		rec.Set("qp/supernodes", float64(len(b.f.sPtr)-1))
+		rec.Set("qp/supernode_cols_max", float64(b.f.maxSuperCols))
+	}
+}
+
 // SolveCtx is Solve with cancellation: the context is checked at every
 // ADMM iteration boundary, and a canceled context stops the loop
 // within one iteration, returning the best iterate so far together
@@ -581,8 +694,7 @@ func (s *Solver) SolveCtx(ctx context.Context) (*Result, error) {
 	for i := range dyAcc {
 		dyAcc[i] = 0
 	}
-	factor0, refactor0, trisolve0, fallback0 := s.nFactor, s.nRefactor, s.nTriSolve, s.linFallbacks
-	cacheHit0, cacheEvict0, parLevels0 := s.nCacheHit, s.nCacheEvict, s.nParLevels
+	c0 := s.snapCounters()
 	var lastPrim, lastDual float64
 	var cause error
 
@@ -602,25 +714,11 @@ func (s *Solver) SolveCtx(ctx context.Context) (*Result, error) {
 			break
 		}
 		// x-step: (P + σI + ρAᵀA) x̃ = σx − q + Aᵀ(ρz − y)
-		for i := 0; i < m; i++ {
-			s.tmp[i] = s.rho*s.z[i] - s.y[i]
+		s.assembleXStepRHS()
+		cgTol := cgTolFor(set, lastPrim, lastDual)
+		if s.lin.kind() != LinSysLDLT {
+			copy(s.xt, s.x) // warm start (iterative backends) from current x
 		}
-		for j := 0; j < n; j++ {
-			s.rhs[j] = set.Sigma*s.x[j] - s.q[j]
-		}
-		s.a.AddMulTVec(s.rhs, s.tmp)
-		cgTol := set.CGTol
-		if lastPrim > 0 {
-			// Loose early, tight late: inexact ADMM.
-			t := 0.05 * math.Min(lastPrim, lastDual)
-			if t > cgTol {
-				cgTol = t
-			}
-			if cgTol > 1e-3 {
-				cgTol = 1e-3
-			}
-		}
-		copy(s.xt, s.x) // warm start (iterative backends) from current x
 		iters, lerr := s.lin.solve(s.xt, s.rhs, cgTol)
 		if lerr != nil {
 			// LDLᵀ numeric breakdown: fall back to CG for good and
@@ -631,26 +729,9 @@ func (s *Solver) SolveCtx(ctx context.Context) (*Result, error) {
 		}
 		res.CGIters += iters
 
-		// z̃ = A x̃
+		// z̃ = A x̃, then the over-relaxed iterate updates.
 		s.a.MulVecW(s.zt, s.xt, workers)
-
-		// Relaxation + updates.
-		for j := 0; j < n; j++ {
-			s.x[j] = set.Alpha*s.xt[j] + (1-set.Alpha)*s.x[j]
-		}
-		for i := 0; i < m; i++ {
-			zc := set.Alpha*s.zt[i] + (1-set.Alpha)*s.z[i] + s.y[i]/s.rho
-			zNew := zc
-			if zNew < s.l[i] {
-				zNew = s.l[i]
-			} else if zNew > s.u[i] {
-				zNew = s.u[i]
-			}
-			yNew := s.rho * (zc - zNew)
-			dyAcc[i] += yNew - s.y[i]
-			s.z[i] = zNew
-			s.y[i] = yNew
-		}
+		s.applyRelaxation()
 
 		if iter%set.CheckEvery != 0 && iter != set.MaxIter {
 			continue
@@ -698,31 +779,11 @@ func (s *Solver) SolveCtx(ctx context.Context) (*Result, error) {
 	res.Obj = s.Objective(res.X)
 	res.RhoFinal = s.rho
 
-	// Telemetry: pure observation after the solve, so it cannot perturb
-	// the trajectory.  A solve is a warm-start hit when it reuses iterate
-	// state — any solve after the first, or after an explicit WarmStart.
+	// A solve is a warm-start hit when it reuses iterate state — any
+	// solve after the first, or after an explicit WarmStart.
 	warm := s.solves > 0 || s.warmed
 	s.solves++
-	if rec := obs.From(ctx); rec != nil {
-		rec.Add("qp/solves", 1)
-		rec.Add("qp/iterations", int64(res.Iters))
-		rec.Add("qp/cg_iterations", int64(res.CGIters))
-		rec.Add("qp/restarts", int64(res.Restarts))
-		rec.Add("qp/factorizations", s.nFactor-factor0)
-		rec.Add("qp/refactorizations", s.nRefactor-refactor0)
-		rec.Add("qp/triangular_solves", s.nTriSolve-trisolve0)
-		rec.Add("qp/factor_cache_hits", s.nCacheHit-cacheHit0)
-		rec.Add("qp/factor_cache_evictions", s.nCacheEvict-cacheEvict0)
-		rec.Add("qp/parallel_factor_levels", s.nParLevels-parLevels0)
-		rec.Add("qp/linsys_fallbacks", s.linFallbacks-fallback0)
-		rec.Add("qp/linsys_"+s.lin.kind().String()+"_solves", 1)
-		if warm {
-			rec.Add("qp/warm_start_hits", 1)
-		}
-		rec.Set("qp/prim_res", res.PrimRes)
-		rec.Set("qp/dual_res", res.DualRes)
-		rec.Set("qp/linsys_backend", float64(s.lin.kind()))
-	}
+	s.emitTelemetry(ctx, res, c0, warm)
 	return res, cause
 }
 

@@ -65,6 +65,24 @@ type CSR struct {
 	RowPtr []int
 	Col    []int
 	Val    []float64
+
+	// ones is the length of the leading run of single-entry rows, set by
+	// markOneRows.  The dose-map constraint matrices open with one box
+	// row per variable, so both mat-vec kernels take a branch-free fast
+	// path over that prefix (where RowPtr[r] == r by construction).
+	// Zero means "not analyzed" — the generic loops handle everything.
+	ones int
+}
+
+// markOneRows measures the single-entry row prefix for the mat-vec fast
+// path.  Callers that own the matrix exclusively (the Solver marks its
+// private clone) invoke it once after the structure is final.
+func (c *CSR) markOneRows() {
+	r := 0
+	for r < c.M && c.RowPtr[r+1]-c.RowPtr[r] == 1 {
+		r++
+	}
+	c.ones = r
 }
 
 // Compile converts the triplet form to CSR, summing duplicates and
@@ -116,11 +134,21 @@ func (c *CSR) MulVec(y, x []float64) { c.MulVecW(y, x, 1) }
 // matter which worker owns it, so the result is bit-identical to the
 // serial product for every worker count.
 func (c *CSR) MulVecW(y, x []float64, workers int) {
+	rp, col, val := c.RowPtr, c.Col, c.Val
+	ones := c.ones
 	par.Blocks(c.M, workers, func(_, lo, hi int) {
-		for r := lo; r < hi; r++ {
+		r := lo
+		// Single-entry prefix: RowPtr[r] == r there, so the row loop
+		// collapses to one multiply with no pointer loads.  Same single
+		// product as the generic row body, hence bit-identical.
+		for hi1 := min(hi, ones); r < hi1; r++ {
+			y[r] = val[r] * x[col[r]]
+		}
+		for ; r < hi; r++ {
 			s := 0.0
-			for k := c.RowPtr[r]; k < c.RowPtr[r+1]; k++ {
-				s += c.Val[k] * x[c.Col[k]]
+			end := rp[r+1]
+			for k := rp[r]; k < end; k++ {
+				s += val[k] * x[col[k]]
 			}
 			y[r] = s
 		}
@@ -132,26 +160,29 @@ func (c *CSR) MulTVec(y, x []float64) {
 	for i := range y {
 		y[i] = 0
 	}
-	for r := 0; r < c.M; r++ {
-		xr := x[r]
-		if xr == 0 {
-			continue
-		}
-		for k := c.RowPtr[r]; k < c.RowPtr[r+1]; k++ {
-			y[c.Col[k]] += c.Val[k] * xr
-		}
-	}
+	c.AddMulTVec(y, x)
 }
 
 // AddMulTVec computes y += Aᵀ·x without zeroing y first.
 func (c *CSR) AddMulTVec(y, x []float64) {
-	for r := 0; r < c.M; r++ {
+	rp, col, val := c.RowPtr, c.Col, c.Val
+	r := 0
+	// Single-entry prefix fast path (see MulVecW): one scatter per row,
+	// keeping the exact-zero skip so the op sequence matches the generic
+	// loop bit for bit.
+	for ; r < c.ones; r++ {
+		if xr := x[r]; xr != 0 {
+			y[col[r]] += val[r] * xr
+		}
+	}
+	for ; r < c.M; r++ {
 		xr := x[r]
 		if xr == 0 {
 			continue
 		}
-		for k := c.RowPtr[r]; k < c.RowPtr[r+1]; k++ {
-			y[c.Col[k]] += c.Val[k] * xr
+		end := rp[r+1]
+		for k := rp[r]; k < end; k++ {
+			y[col[k]] += val[k] * xr
 		}
 	}
 }
@@ -212,8 +243,48 @@ func (c *CSR) Clone() *CSR {
 		RowPtr: append([]int(nil), c.RowPtr...),
 		Col:    append([]int(nil), c.Col...),
 		Val:    append([]float64(nil), c.Val...),
+		ones:   c.ones,
 	}
 	return out
+}
+
+// csrEqual reports whether two matrices hold the identical structure
+// and bitwise-equal values.  The batched lockstep solver uses it to
+// validate that a family of Solvers may share one LDLᵀ factor: equal
+// bits in — equal bits out, so the shared-factor solve is exactly the
+// solve each member's own factor would have produced.
+func csrEqual(a, b *CSR) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.M != b.M || a.N != b.N || len(a.Col) != len(b.Col) {
+		return false
+	}
+	for i, v := range a.RowPtr {
+		if b.RowPtr[i] != v {
+			return false
+		}
+	}
+	for i, v := range a.Col {
+		if b.Col[i] != v {
+			return false
+		}
+	}
+	return floatBitsEqual(a.Val, b.Val)
+}
+
+// floatBitsEqual reports element-wise Float64bits equality (so NaN
+// payloads and signed zeros are distinguished, unlike ==).
+func floatBitsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, v := range a {
+		if math.Float64bits(b[i]) != math.Float64bits(v) {
+			return false
+		}
+	}
+	return true
 }
 
 // CSRFromRows builds a CSR directly from per-row column/value lists.
