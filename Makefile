@@ -38,12 +38,14 @@ bench:
 # vcs.revision into the report's git_rev field.  Also runs the CG vs
 # LDLᵀ micro-benchmark on the cut-pool matrix, the parallel numeric
 # factorization sweep, the multi-RHS supernodal solve sweep, and the
-# τ-Newton bisection benchmark.
+# τ-Newton bisection benchmark.  The tables run covers Table IV plus the
+# actuator ablation (Table X), so the report times the joint dose+bias
+# solves alongside the dose-only pipeline.
 bench-json:
 	$(GO) test ./internal/core/ -run '^$$' -bench 'LinSys|TauNewton|WaferSolve' -benchtime 3x
 	$(GO) test ./internal/qp/ -run '^$$' -bench 'LDLTParallelFactor|SupernodalSolve' -benchtime 20x
 	$(GO) build -o tables.bin ./cmd/tables
-	./tables.bin -scale 0.15 -k 2000 -which iv -bench-json BENCH_pr9.json
+	./tables.bin -scale 0.15 -k 2000 -which iv,x -bench-json BENCH_pr10.json
 	rm -f tables.bin
 
 # Tiny wafer end-to-end: the 12-field consensus smoke plus the

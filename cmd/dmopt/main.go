@@ -11,6 +11,7 @@
 //
 //	dmopt [-design AES-65] [-scale 0.15] [-grid 5] [-qcp] [-both]
 //	      [-delta 2] [-dosepl] [-xi 0]
+//	      [-actuators dose|bias|dose+bias] [-bias-grid 20] [-bias-lo -0.2] [-bias-hi 0.1]
 package main
 
 import (
@@ -31,6 +32,7 @@ func main() {
 	delta := flag.Float64("delta", 2, "dose smoothness bound δ in percent")
 	xi := flag.Float64("xi", 0, "QCP leakage budget ξ in nW (Δleakage allowed)")
 	dosepl := flag.Bool("dosepl", false, "run dosePl cell-swapping rounds after DMopt")
+	act := cli.AddActuatorFlags(flag.CommandLine)
 	com := cli.AddFlags("dmopt")
 	flag.Parse()
 	com.Init()
@@ -52,6 +54,7 @@ func main() {
 		Workers:    com.Workers,
 		LinSys:     com.LinSys.String(),
 	}
+	act.Apply(&spec)
 
 	start := time.Now()
 	res, out, err := api.Run(com.Context(), spec)
@@ -67,6 +70,10 @@ func main() {
 	fmt.Printf("  solver  : %s, probes=%d, runtime %v\n", res.SolverStatus, res.Probes, dm.Runtime.Round(time.Millisecond))
 	fmt.Printf("  dose map: min %.2f%%  max %.2f%%  mean %.2f%%  max neighbor Δ %.3f%%\n",
 		res.Dose.MinPct, res.Dose.MaxPct, res.Dose.MeanPct, res.Dose.MaxNeighborDeltaPct)
+	if bs := res.Bias; bs != nil {
+		fmt.Printf("  bias    : %d domains  min %+.3f V  max %+.3f V  mean %+.3f V\n",
+			bs.Domains, bs.MinV, bs.MaxV, bs.MeanV)
+	}
 	if dp := res.DosePl; dp != nil {
 		fmt.Printf("  dosePl  : MCT %8.1f ps   leakage %9.1f µW   (%d swaps accepted over %d rounds)\n",
 			dp.MCTPs, dp.LeakUW, dp.SwapsAccepted, dp.Rounds)

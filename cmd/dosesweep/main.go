@@ -12,6 +12,7 @@
 // Usage:
 //
 //	dosesweep [-design AES-65] [-scale 0.15]
+//	dosesweep -bias [-design AES-65] [-scale 0.15]
 //	dosesweep -wafer [-design AES-65] [-scale 0.15] [-grid 10]
 package main
 
@@ -28,6 +29,7 @@ func main() {
 	design := flag.String("design", "AES-65", "testcase: AES-65, JPEG-65, AES-90, JPEG-90")
 	scale := flag.Float64("scale", 0.15, "design scale factor in (0,1]")
 	wafer := flag.Bool("wafer", false, "run the full-wafer consensus co-optimization instead of the uniform sweep")
+	bias := flag.Bool("bias", false, "sweep a uniform body-bias voltage instead of a uniform dose")
 	grid := flag.Float64("grid", 10, "wafer mode: dose-map grid pitch in µm")
 	com := cli.AddFlags("dosesweep")
 	flag.Parse()
@@ -45,6 +47,18 @@ func main() {
 		fmt.Printf("τ̄ = %.1f ps over %d fields (%d consensus groups, %d outer iters, %d field solves) in %v\n",
 			r.TauPs, len(r.Fields), r.Groups, r.OuterIters, r.FieldSolves, r.Runtime.Round(time.Millisecond))
 		com.Finish("dosesweep -wafer "+*design, *scale, 0, com.Workers, time.Since(start))
+		return
+	}
+	if *bias {
+		rows, err := c.BiasSweepCtx(com.Context(), *design, expt.SweepBiases())
+		com.Check(err)
+		fmt.Printf("uniform body-bias sweep on %s (scale %.2f)\n", *design, *scale)
+		fmt.Printf("%-10s %-10s %-9s %-13s %-9s\n", "bias (V)", "MCT (ns)", "imp (%)", "leak (µW)", "imp (%)")
+		for _, r := range rows {
+			fmt.Printf("%-10.2f %-10.3f %-9.2f %-13.1f %-9.2f\n",
+				r.BiasV, r.MCTns, r.MCTImp, r.LeakUW, r.LeakImp)
+		}
+		com.Finish("dosesweep -bias "+*design, *scale, 0, com.Workers, time.Since(start))
 		return
 	}
 	rows, err := c.DoseSweepCtx(com.Context(), *design, expt.SweepDoses())

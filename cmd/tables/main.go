@@ -4,6 +4,8 @@
 // Usage:
 //
 //	tables [-scale 0.15] [-k 2000] [-md] [-which all|I,II,III,IV,V,VI,VII,VIII,fig2,fig3,fig4,fig5,fig6,fig10]
+//	tables -which ix   # wafer consensus table (opt-in)
+//	tables -which x    # actuator ablation table (opt-in)
 //
 // -scale 1 reproduces the full Table I design sizes (minutes of CPU);
 // smaller scales shrink the designs proportionally for quick runs.
@@ -28,7 +30,7 @@ func main() {
 	scale := flag.Float64("scale", 0.15, "design scale factor in (0,1]; 1 = full Table I sizes")
 	k := flag.Int("k", 2000, "top-path count for path-based experiments (paper: 10000)")
 	md := flag.Bool("md", false, "emit GitHub-flavored markdown instead of aligned text")
-	which := flag.String("which", "all", "comma-separated experiment list, 'all', or 'ix' (wafer, opt-in)")
+	which := flag.String("which", "all", "comma-separated experiment list, 'all', or opt-ins 'ix' (wafer) / 'x' (actuator ablation)")
 	fig10Design := flag.String("fig10", "AES-65", "design for the Fig. 10 slack profiles")
 	com := cli.AddFlags("tables")
 	flag.Parse()
@@ -103,6 +105,12 @@ func main() {
 	// solves are well beyond the single-field tables' budget.
 	if sel["ix"] {
 		emit(c.TableIXCtx(ctx, *fig10Design))
+	}
+	// The actuator ablation is opt-in (-which x): it exercises the
+	// body-bias extension rather than a paper table.
+	if sel["x"] {
+		t, _, err := c.TableXCtx(ctx)
+		emit(t, err)
 	}
 	wall := time.Since(start)
 	fmt.Fprintf(os.Stderr, "tables: done in %v (scale %.2f)\n", wall.Round(time.Millisecond), *scale)

@@ -25,6 +25,20 @@ import (
 // suffix on any incompatible change so clients can dispatch.
 const Schema = "dmopt-job/v1"
 
+// Actuator selections (JobSpec.Actuators).
+const (
+	// ActuatorsDose is the dose-only pipeline; "" normalizes to it.
+	ActuatorsDose = "dose"
+	// ActuatorsBias optimizes per-domain body bias only.
+	ActuatorsBias = "bias"
+	// ActuatorsJoint co-optimizes dose and body bias; "joint" is an
+	// accepted alias that normalizes to it.
+	ActuatorsJoint = "dose+bias"
+
+	// DefaultBiasGridUm is the default bias-domain tiling pitch in µm.
+	DefaultBiasGridUm = 20
+)
+
 // Job modes.
 const (
 	// ModeQP minimizes Δleakage under a clock-period bound (default).
@@ -95,6 +109,19 @@ type JobSpec struct {
 	// DosePl appends the cell-swapping placement rounds after DMopt.
 	DosePl bool `json:"dosepl,omitempty"`
 
+	// Actuators selects the optimization knobs: "" or "dose" (dose-map
+	// only — the historical pipeline, bit-identical to pre-actuator
+	// specs), "bias" (per-domain body bias only), "dose+bias" (or the
+	// alias "joint") for the co-optimization.
+	Actuators string `json:"actuators,omitempty"`
+	// BiasGridUm is the bias-domain tiling pitch in µm (default 20);
+	// only valid with a bias-containing actuator selection.
+	BiasGridUm float64 `json:"bias_grid_um,omitempty"`
+	// BiasLoV, BiasHiV bound the per-domain body-bias voltage in V
+	// (forward positive; both zero selects the default [-0.2, +0.1]).
+	BiasLoV float64 `json:"bias_lo_v,omitempty"`
+	BiasHiV float64 `json:"bias_hi_v,omitempty"`
+
 	// Wafer parameterizes a wafer-mode job; only valid with mode "wafer"
 	// (and a nil Wafer there selects the production layout, flat).
 	Wafer *WaferSpec `json:"wafer,omitempty"`
@@ -132,6 +159,24 @@ func (s JobSpec) Normalized() JobSpec {
 	}
 	if s.Workers < 0 {
 		s.Workers = 0
+	}
+	// Actuator normalization: the dose-only default stays "" with all
+	// bias knobs zero, so legacy canonical spec strings (and the dedup
+	// keys derived from them) are byte-identical to pre-actuator builds.
+	s.Actuators = strings.ToLower(s.Actuators)
+	if s.Actuators == ActuatorsDose {
+		s.Actuators = ""
+	}
+	if s.Actuators == "joint" {
+		s.Actuators = ActuatorsJoint
+	}
+	if s.biasOn() {
+		if s.BiasGridUm == 0 {
+			s.BiasGridUm = DefaultBiasGridUm
+		}
+		if s.BiasLoV == 0 && s.BiasHiV == 0 {
+			s.BiasLoV, s.BiasHiV = core.DefaultBiasLo, core.DefaultBiasHi
+		}
 	}
 	if s.Mode == ModeWafer {
 		w := WaferSpec{}
@@ -206,6 +251,28 @@ func (s JobSpec) Validate() error {
 			}
 		}
 	}
+	switch strings.ToLower(s.Actuators) {
+	case "", ActuatorsDose, ActuatorsBias, ActuatorsJoint, "joint":
+	default:
+		return fmt.Errorf("api: unknown actuators %q (want %q, %q or %q)",
+			s.Actuators, ActuatorsDose, ActuatorsBias, ActuatorsJoint)
+	}
+	if s.biasOn() {
+		if mode == ModeWafer {
+			return fmt.Errorf("api: wafer mode supports the dose actuator only")
+		}
+		if s.DosePl {
+			return fmt.Errorf("api: dosepl rounds require the dose-only actuator selection")
+		}
+		if s.BiasGridUm < 0 {
+			return fmt.Errorf("api: negative bias grid bias_grid_um %g", s.BiasGridUm)
+		}
+		if s.BiasLoV > s.BiasHiV {
+			return fmt.Errorf("api: bias range [%g, %g] is empty", s.BiasLoV, s.BiasHiV)
+		}
+	} else if s.BiasGridUm != 0 || s.BiasLoV != 0 || s.BiasHiV != 0 {
+		return fmt.Errorf("api: bias knobs are only valid with a bias-containing actuators selection")
+	}
 	if s.TauPs < 0 {
 		return fmt.Errorf("api: negative clock-period bound tau_ps %g", s.TauPs)
 	}
@@ -224,6 +291,16 @@ func (s JobSpec) Validate() error {
 		}
 	}
 	return nil
+}
+
+// biasOn reports whether the spec's actuator selection includes body
+// bias (accepting both raw and normalized spellings).
+func (s JobSpec) biasOn() bool {
+	switch strings.ToLower(s.Actuators) {
+	case ActuatorsBias, ActuatorsJoint, "joint":
+		return true
+	}
+	return false
 }
 
 // GenPreset resolves the (scaled) design preset the spec describes.
@@ -275,6 +352,11 @@ func (s JobSpec) Options() (core.Options, error) {
 	opt.Tiled = s.Tiled
 	opt.Workers = s.Workers
 	opt.QP.LinSys = linsys
+	if s.biasOn() {
+		opt.DoseOff = strings.ToLower(s.Actuators) == ActuatorsBias
+		opt.BiasGridUm = s.BiasGridUm
+		opt.BiasLo, opt.BiasHi = s.BiasLoV, s.BiasHiV
+	}
 	return opt, nil
 }
 
@@ -349,6 +431,15 @@ type DoseSummary struct {
 	MaxNeighborDeltaPct float64 `json:"max_neighbor_delta_pct"`
 }
 
+// BiasSummary reports the optimized per-domain body-bias voltages
+// (present only when the job's actuator selection includes bias).
+type BiasSummary struct {
+	Domains int     `json:"domains"`
+	MinV    float64 `json:"min_v"`
+	MaxV    float64 `json:"max_v"`
+	MeanV   float64 `json:"mean_v"`
+}
+
 // DosePlSummary reports the optional placement rounds.
 type DosePlSummary struct {
 	MCTPs         float64 `json:"mct_ps"`
@@ -410,6 +501,7 @@ type JobResult struct {
 	SolverStatus    string  `json:"solver_status"`
 
 	Dose   DoseSummary    `json:"dose"`
+	Bias   *BiasSummary   `json:"bias,omitempty"`
 	DosePl *DosePlSummary `json:"dosepl,omitempty"`
 	Wafer  *WaferSummary  `json:"wafer,omitempty"`
 
@@ -508,6 +600,21 @@ func ResultOf(spec JobSpec, out *core.FlowOutcome) *JobResult {
 			MaxNeighborDeltaPct: dm.Layers.Poly.MaxNeighborDiff(),
 		},
 		RuntimeNS: int64(dm.Runtime),
+	}
+	if n := dm.BiasDomains; n > 0 && len(dm.BiasV) == n {
+		bs := &BiasSummary{Domains: n, MinV: dm.BiasV[0], MaxV: dm.BiasV[0]}
+		sum := 0.0
+		for _, b := range dm.BiasV {
+			if b < bs.MinV {
+				bs.MinV = b
+			}
+			if b > bs.MaxV {
+				bs.MaxV = b
+			}
+			sum += b
+		}
+		bs.MeanV = sum / float64(n)
+		r.Bias = bs
 	}
 	if dp := out.DosePl; dp != nil {
 		r.DosePl = &DosePlSummary{

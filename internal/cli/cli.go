@@ -25,6 +25,7 @@ import (
 	"runtime/pprof"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/qp"
@@ -67,6 +68,41 @@ func AddFlagsTo(fs *flag.FlagSet, prog string) *Common {
 	fs.StringVar(&c.cpuprofile, "cpuprofile", "", "write a CPU profile to this file")
 	fs.StringVar(&c.memprofile, "memprofile", "", "write a heap profile to this file on exit")
 	return c
+}
+
+// ActuatorFlags is the shared actuator flag group of the dmopt-family
+// commands: which knobs to optimize and the body-bias domain/box
+// parameters.  Zero values reproduce the dose-only pipeline.
+type ActuatorFlags struct {
+	// Actuators is the selection string: dose (default), bias,
+	// dose+bias or joint.
+	Actuators string
+	// BiasGridUm is the bias-domain tiling pitch in µm (0 = default).
+	BiasGridUm float64
+	// BiasLoV, BiasHiV bound the per-domain bias voltage in V.
+	BiasLoV, BiasHiV float64
+}
+
+// AddActuatorFlags registers the actuator flag group on fs.
+func AddActuatorFlags(fs *flag.FlagSet) *ActuatorFlags {
+	a := &ActuatorFlags{}
+	fs.StringVar(&a.Actuators, "actuators", "dose", "optimization knobs: dose, bias, dose+bias (alias: joint)")
+	fs.Float64Var(&a.BiasGridUm, "bias-grid", 0, "body-bias domain pitch in µm (0 = default 20; bias actuators only)")
+	fs.Float64Var(&a.BiasLoV, "bias-lo", 0, "lower body-bias bound in V (0 with -bias-hi 0 = default box)")
+	fs.Float64Var(&a.BiasHiV, "bias-hi", 0, "upper body-bias bound in V")
+	return a
+}
+
+// Apply copies the actuator flag group onto a job spec.  The "dose"
+// default maps to the spec's empty selection so legacy invocations
+// produce byte-identical canonical specs.
+func (a *ActuatorFlags) Apply(spec *api.JobSpec) {
+	if a.Actuators == "" || a.Actuators == api.ActuatorsDose {
+		return
+	}
+	spec.Actuators = a.Actuators
+	spec.BiasGridUm = a.BiasGridUm
+	spec.BiasLoV, spec.BiasHiV = a.BiasLoV, a.BiasHiV
 }
 
 // Init validates the shared flags (call after flag.Parse) and starts

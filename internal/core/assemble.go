@@ -12,7 +12,6 @@ import (
 	"repro/internal/dosemap"
 	"repro/internal/netlist"
 	"repro/internal/qp"
-	"repro/internal/tech"
 )
 
 // problem is an assembled node-based DMopt instance ready for
@@ -40,7 +39,7 @@ type endRow struct {
 // delay below which (under the slowest reachable dose) a gate can never
 // constrain the clock period; tau0 initializes the endpoint bounds.
 func assemble(c *Compiled, opt Options, pruneThresh, tau0 float64) (*problem, error) {
-	golden, model := c.Golden, c.Model
+	golden := c.Golden
 	in := golden.In
 	p := &problem{c: c, opt: opt}
 	nG := c.NG
@@ -66,8 +65,6 @@ func assemble(c *Compiled, opt Options, pruneThresh, tau0 float64) (*problem, er
 		}
 	}
 	p.nVar = base + nArr
-
-	ds := tech.DoseSensitivity
 
 	// Objective: the compiled dose terms widened with zero-cost arrival
 	// variables.
@@ -105,14 +102,23 @@ func assemble(c *Compiled, opt Options, pruneThresh, tau0 float64) (*problem, er
 	if opt.BothLayers {
 		nLayers = 2
 	}
-	// Box (Eq. 3/8).
-	for layer := 0; layer < nLayers; layer++ {
-		for g := 0; g < nG; g++ {
-			r := addRow(opt.DoseLo, opt.DoseHi)
-			add(r, layer*nG+g, 1)
+	if opt.DoseOff {
+		nLayers = 0
+	}
+	// Box (Eq. 3/8) per actuator block: dose blocks take the run range
+	// (identical to the compile key), the bias block its compiled box.
+	for _, b := range c.Blocks {
+		lo, hi := opt.DoseLo, opt.DoseHi
+		if b.Name == "bias" {
+			lo, hi = b.Lo, b.Hi
+		}
+		for k := 0; k < b.N; k++ {
+			r := addRow(lo, hi)
+			add(r, b.Off+k, 1)
 		}
 	}
-	// Smoothness (Eq. 4/9): right, down, and down-right diagonal pairs.
+	// Smoothness (Eq. 4/9): right, down, and down-right diagonal pairs
+	// (dose layers only; bias domains have no smoothness coupling).
 	grid := c.Grid
 	for layer := 0; layer < nLayers; layer++ {
 		off := layer * nG
@@ -137,31 +143,31 @@ func assemble(c *Compiled, opt Options, pruneThresh, tau0 float64) (*problem, er
 			}
 		}
 	}
-	// Timing (Eq. 5/10).
+	// Timing (Eq. 5/10).  Each gate's actuator sensitivities enter
+	// through its compiled concatenated row (dose layers, then bias
+	// domain), negated onto the arrival inequality.
+	sens := func(r, id int) {
+		for k := c.sensPtr[id]; k < c.sensPtr[id+1]; k++ {
+			add(r, c.sensCol[k], -c.sensVal[k])
+		}
+	}
 	for id, g := range in.Circ.Gates {
 		ai := p.arrIdx[id]
 		if ai < 0 {
 			continue
 		}
-		gidx := c.gridOf[id]
 		switch g.Kind {
 		case netlist.Seq:
-			// Launch: a_s ≥ clk2q_nom + A·Ds·dP (+ B·Ds·dA).
+			// Launch: a_s ≥ clk2q_nom + A·Ds·dP (+ B·Ds·dA) (+ DB·b).
 			r := addRow(golden.AOut[id], inf)
 			add(r, ai, 1)
-			add(r, gidx, -model.A[id]*ds)
-			if opt.BothLayers {
-				add(r, nG+gidx, -model.B[id]*ds)
-			}
+			sens(r, id)
 		case netlist.Comb:
 			for _, fi := range g.Fanins {
 				arc := golden.ArcDelay(fi, id)
 				r := addRow(0, inf) // filled below
 				add(r, ai, 1)
-				add(r, gidx, -model.A[id]*ds)
-				if opt.BothLayers {
-					add(r, nG+gidx, -model.B[id]*ds)
-				}
+				sens(r, id)
 				if fj := p.arrIdx[fi]; fj >= 0 {
 					add(r, fj, -1)
 					l[r] = arc
@@ -208,10 +214,14 @@ func (p *problem) setBoundsTau(s *qp.Solver, tau float64) error {
 	return s.UpdateBounds(p.l, p.u)
 }
 
-// extract converts a QP solution into legalized dose maps.
+// extract converts a QP solution into legalized dose maps (a zero poly
+// map when the dose actuator is off, keeping map consumers total).
 func (p *problem) extract(x []float64) dosemap.Layers {
 	c := p.c
 	poly := dosemap.NewMap(c.Grid)
+	if p.opt.DoseOff {
+		return dosemap.Layers{Poly: poly}
+	}
 	copy(poly.D, x[:c.NG])
 	poly.Legalize(p.opt.DoseLo, p.opt.DoseHi, p.opt.Delta, 50)
 	layers := dosemap.Layers{Poly: poly}
@@ -222,4 +232,18 @@ func (p *problem) extract(x []float64) dosemap.Layers {
 		layers.Active = act
 	}
 	return layers
+}
+
+// extractBias copies the bias-block variables out of a QP solution,
+// clamped onto the compiled bias box (nil when bias is off).
+func (p *problem) extractBias(x []float64) []float64 {
+	c := p.c
+	if c.nBias == 0 {
+		return nil
+	}
+	bv := make([]float64, c.nBias)
+	for d := range bv {
+		bv[d] = clamp(x[c.biasOff+d], c.Opts.BiasLo, c.Opts.BiasHi)
+	}
+	return bv
 }

@@ -45,16 +45,35 @@ type CompileOptions struct {
 	BothLayers bool
 	// Tiled adds seam smoothness rows between opposite map edges.
 	Tiled bool
+	// DoseOff removes the dose actuator block (bias-only formulation).
+	DoseOff bool
+	// BiasGridUm adds the body-bias actuator block when > 0: the pitch
+	// in µm of the square bias-domain tiling.
+	BiasGridUm float64
+	// BiasLo, BiasHi are the per-domain body-bias box in V.
+	BiasLo, BiasHi float64
 }
 
 // CompileOptions projects the run options onto the compile key: the
-// fields every solve over the same formulation must agree on.
+// fields every solve over the same formulation must agree on.  The bias
+// box defaults are materialized here so that runs and compiles keyed on
+// the projection always agree; a disabled bias actuator leaves all bias
+// fields zero, keeping legacy cache keys byte-identical.
 func (o Options) CompileOptions() CompileOptions {
-	return CompileOptions{
+	co := CompileOptions{
 		G: o.G, Delta: o.Delta,
 		DoseLo: o.DoseLo, DoseHi: o.DoseHi,
 		BothLayers: o.BothLayers, Tiled: o.Tiled,
+		DoseOff: o.DoseOff,
 	}
+	if o.useBias() {
+		co.BiasGridUm = o.BiasGridUm
+		co.BiasLo, co.BiasHi = o.BiasLo, o.BiasHi
+		if co.BiasLo == 0 && co.BiasHi == 0 {
+			co.BiasLo, co.BiasHi = DefaultBiasLo, DefaultBiasHi
+		}
+	}
+	return co
 }
 
 // Compiled is the immutable per-(design, grid, layers) artifact shared
@@ -70,12 +89,33 @@ type Compiled struct {
 	Opts CompileOptions
 
 	// Grid is the dose-map geometry; NG its cell count per layer and
-	// NVar the dose-variable count (NG, or 2·NG for both layers).
+	// NVar the total actuator-variable count across all blocks (NG or
+	// 2·NG dose variables, plus one variable per bias domain).
 	Grid     dosemap.Grid
 	NG, NVar int
 
+	// Blocks is the ordered actuator variable layout: dose layer blocks
+	// first (offsets 0 and NG), then the bias block.  Every stage that
+	// walks variables — fixed rows, cut assembly, clamping, extraction —
+	// indexes through it instead of assuming nVar == nGrids×layers.
+	Blocks []ActuatorBlock
+
 	gridOf []int // gate → flat grid index, or -1 for ports
 	order  []int // frozen topological order of the circuit
+
+	// Body-bias actuator state (absent: nBias == 0, biasOff == -1).
+	domainOf []int   // gate → bias domain, or -1
+	nBias    int     // occupied bias domains
+	biasOff  int     // variable offset of the bias block
+	kGamma   float64 // dVth per volt of forward bias is -kGamma
+
+	// Per-gate delay sensitivity rows, concatenated over all blocks in
+	// block order (CSR over gates): d(delay_id)/d(x_col).  Values are
+	// precomputed (A·Ds, B·Ds, DB) so the cut engine's evaluations stay
+	// bit-identical to the historical inline products.
+	sensPtr []int
+	sensCol []int
+	sensVal []float64
 
 	// Dose-variable objective: ½·dosePD_j·x_j² + doseQ_j·x_j is the
 	// Eq. 2 Δleakage model.  cutPD adds the active-layer regularization
@@ -156,25 +196,75 @@ func CompileCtx(ctx context.Context, golden *sta.Result, model *Model, co Compil
 		Golden: golden, Model: model, Opts: co,
 		Grid: grid, NG: grid.Cells(),
 		gridOf: gateGrid(in, grid), order: order,
-	}
-	c.NVar = c.NG
-	if co.BothLayers {
-		c.NVar = 2 * c.NG
+		biasOff: -1,
 	}
 
-	// Objective diagonal and linear term over the dose variables.
+	// Actuator block layout: dose layers first, then bias domains.
+	if co.DoseOff && co.BiasGridUm <= 0 {
+		return nil, errNoActuators
+	}
+	if co.DoseOff && co.BothLayers {
+		return nil, fmt.Errorf("core: BothLayers requires the dose actuator")
+	}
+	doseVars := 0
+	if !co.DoseOff {
+		doseVars = c.NG
+		if co.BothLayers {
+			doseVars = 2 * c.NG
+		}
+	}
+	if co.BiasGridUm > 0 {
+		if co.BiasLo > co.BiasHi {
+			return nil, fmt.Errorf("core: bias box [%g, %g] is empty", co.BiasLo, co.BiasHi)
+		}
+		if model.DB == nil || model.AlphaB == nil || model.BetaB == nil {
+			return nil, fmt.Errorf("core: bias actuator enabled but model has no fitted bias coefficients")
+		}
+		c.domainOf, c.nBias = in.Pl.Regions(co.BiasGridUm)
+		if c.nBias == 0 {
+			return nil, fmt.Errorf("core: bias tiling at %g µm produced no occupied domains", co.BiasGridUm)
+		}
+		c.biasOff = doseVars
+		c.kGamma = in.Node.KGammaBody
+	}
+	c.NVar = doseVars + c.nBias
+	if !co.DoseOff {
+		c.Blocks = append(c.Blocks, ActuatorBlock{Name: "dose-poly", Off: 0, N: c.NG, Lo: co.DoseLo, Hi: co.DoseHi})
+		if co.BothLayers {
+			c.Blocks = append(c.Blocks, ActuatorBlock{Name: "dose-active", Off: c.NG, N: c.NG, Lo: co.DoseLo, Hi: co.DoseHi})
+		}
+	}
+	if c.nBias > 0 {
+		c.Blocks = append(c.Blocks, ActuatorBlock{Name: "bias", Off: c.biasOff, N: c.nBias, Lo: co.BiasLo, Hi: co.BiasHi})
+	}
+
+	// Objective diagonal and linear term over the actuator variables.
 	ds := tech.DoseSensitivity
 	c.dosePD = make([]float64, c.NVar)
 	c.doseQ = make([]float64, c.NVar)
-	for id := range in.Circ.Gates {
-		g := c.gridOf[id]
-		if g < 0 {
-			continue
+	if !co.DoseOff {
+		for id := range in.Circ.Gates {
+			g := c.gridOf[id]
+			if g < 0 {
+				continue
+			}
+			c.dosePD[g] += 2 * model.Alpha[id] * ds * ds
+			c.doseQ[g] += model.Beta[id] * ds
+			if co.BothLayers {
+				c.doseQ[c.NG+g] += model.Gamma[id] * ds
+			}
 		}
-		c.dosePD[g] += 2 * model.Alpha[id] * ds * ds
-		c.doseQ[g] += model.Beta[id] * ds
-		if co.BothLayers {
-			c.doseQ[c.NG+g] += model.Gamma[id] * ds
+	}
+	if c.nBias > 0 {
+		// Bias leakage model per gate: AlphaB·b² + BetaB·b, aggregated
+		// per shared domain variable.
+		for id := range in.Circ.Gates {
+			dom := c.domainOf[id]
+			if dom < 0 {
+				continue
+			}
+			c.dosePD[c.biasOff+dom] += 2 * model.AlphaB[id]
+			c.doseQ[c.biasOff+dom] += model.BetaB[id]
 		}
 	}
 	c.cutPD = append([]float64(nil), c.dosePD...)
@@ -202,8 +292,32 @@ func CompileCtx(ctx context.Context, golden *sta.Result, model *Model, co Compil
 		return nil, fmt.Errorf("core: compile canceled: %w", err)
 	}
 
+	// Per-gate delay sensitivity rows concatenated over blocks.
+	nGates := in.Circ.NumGates()
+	c.sensPtr = make([]int, nGates+1)
+	for id := 0; id < nGates; id++ {
+		c.sensPtr[id] = len(c.sensCol)
+		if !co.DoseOff {
+			if g := c.gridOf[id]; g >= 0 {
+				c.sensCol = append(c.sensCol, g)
+				c.sensVal = append(c.sensVal, model.A[id]*ds)
+				if co.BothLayers {
+					c.sensCol = append(c.sensCol, c.NG+g)
+					c.sensVal = append(c.sensVal, model.B[id]*ds)
+				}
+			}
+		}
+		if c.nBias > 0 {
+			if dom := c.domainOf[id]; dom >= 0 {
+				c.sensCol = append(c.sensCol, c.biasOff+dom)
+				c.sensVal = append(c.sensVal, model.DB[id])
+			}
+		}
+	}
+	c.sensPtr[nGates] = len(c.sensCol)
+
 	// Fixed constraint prefix of the cut engine.
-	c.fixedA, c.fixedL, c.fixedU = compileFixedRows(grid, c.NG, c.NVar, co)
+	c.fixedA, c.fixedL, c.fixedU = compileFixedRows(grid, c.NG, c.NVar, co, c.Blocks)
 
 	// Pruning state (node assembly) and the QCP lower bound.
 	worstDelta := func(id int) float64 { return maxDelayDeltaFor(model, co, id) }
@@ -221,18 +335,28 @@ func CompileCtx(ctx context.Context, golden *sta.Result, model *Model, co Compil
 
 	obs.Add(ctx, "core/compile_misses", 1)
 	obs.Add(ctx, "core/compile_ns", time.Since(start).Nanoseconds())
+	obs.Set(ctx, "core/actuator_blocks", float64(len(c.Blocks)))
+	if c.nBias > 0 {
+		obs.Set(ctx, "core/bias_domains", float64(c.nBias))
+	}
 	return c, nil
 }
 
-// compileFixedRows assembles the box (Eq. 3/8) and smoothness (Eq. 4/9)
-// rows — plus the Tiled seam rows — over the dose variables.  The
-// triplet route keeps the compiled pattern bit-identical to the
-// historical single-matrix assembly (including the degenerate 1-cell
-// grids whose seam entries cancel to empty rows).
-func compileFixedRows(grid dosemap.Grid, nG, nVar int, co CompileOptions) (*qp.CSR, []float64, []float64) {
+// compileFixedRows assembles the fixed constraint prefix over the
+// actuator blocks: box rows per block in block order (Eq. 3/8 for dose,
+// the bias voltage box for bias domains), then the dose smoothness rows
+// (Eq. 4/9) — bias domains have no smoothness coupling — plus the Tiled
+// seam rows.  The triplet route keeps the compiled pattern bit-identical
+// to the historical single-matrix assembly (including the degenerate
+// 1-cell grids whose seam entries cancel to empty rows); with the dose
+// blocks alone it reduces exactly to the pre-actuator emission order.
+func compileFixedRows(grid dosemap.Grid, nG, nVar int, co CompileOptions, blocks []ActuatorBlock) (*qp.CSR, []float64, []float64) {
 	nLayers := 1
 	if co.BothLayers {
 		nLayers = 2
+	}
+	if co.DoseOff {
+		nLayers = 0
 	}
 	type entry struct {
 		r, c int
@@ -248,10 +372,10 @@ func compileFixedRows(grid dosemap.Grid, nG, nVar int, co CompileOptions) (*qp.C
 		row++
 		return r
 	}
-	for layer := 0; layer < nLayers; layer++ {
-		for g := 0; g < nG; g++ {
-			r := addRow(co.DoseLo, co.DoseHi)
-			entries = append(entries, entry{r, layer*nG + g, 1})
+	for _, b := range blocks {
+		for k := 0; k < b.N; k++ {
+			r := addRow(b.Lo, b.Hi)
+			entries = append(entries, entry{r, b.Off + k, 1})
 		}
 	}
 	for layer := 0; layer < nLayers; layer++ {
@@ -313,23 +437,36 @@ func gateGrid(in sta.Input, grid dosemap.Grid) []int {
 }
 
 // maxDelayDeltaFor returns the gate's largest possible delay increase
-// under the dose range (used for conservative pruning); minDelayDeltaFor
-// the largest possible decrease (most negative delta).
+// over the active actuator boxes (used for conservative pruning);
+// minDelayDeltaFor the largest possible decrease (most negative delta).
 func maxDelayDeltaFor(model *Model, co CompileOptions, id int) float64 {
 	ds := tech.DoseSensitivity
-	// A·Ds·d maximal at d = DoseLo (Ds<0, A≥0); B·Ds·d maximal at DoseHi.
-	v := model.A[id] * ds * co.DoseLo
-	if co.BothLayers {
-		v += model.B[id] * ds * co.DoseHi
+	v := 0.0
+	if !co.DoseOff {
+		// A·Ds·d maximal at d = DoseLo (Ds<0, A≥0); B·Ds·d maximal at DoseHi.
+		v = model.A[id] * ds * co.DoseLo
+		if co.BothLayers {
+			v += model.B[id] * ds * co.DoseHi
+		}
+	}
+	if co.BiasGridUm > 0 && model.DB != nil {
+		// DB ≤ 0: delay grows most at the deepest reverse bias.
+		v += model.DB[id] * co.BiasLo
 	}
 	return math.Max(v, 0)
 }
 
 func minDelayDeltaFor(model *Model, co CompileOptions, id int) float64 {
 	ds := tech.DoseSensitivity
-	v := model.A[id] * ds * co.DoseHi
-	if co.BothLayers {
-		v += model.B[id] * ds * co.DoseLo
+	v := 0.0
+	if !co.DoseOff {
+		v = model.A[id] * ds * co.DoseHi
+		if co.BothLayers {
+			v += model.B[id] * ds * co.DoseLo
+		}
+	}
+	if co.BiasGridUm > 0 && model.DB != nil {
+		v += model.DB[id] * co.BiasHi
 	}
 	return math.Min(v, 0)
 }

@@ -31,7 +31,6 @@ import (
 	"repro/internal/obs"
 	"repro/internal/qp"
 	"repro/internal/sta"
-	"repro/internal/tech"
 )
 
 // cut is one path constraint over the dose variables.
@@ -312,43 +311,45 @@ func newCutSolver(golden *sta.Result, model *Model, opt Options) (*cutSolver, er
 	return newCutSolverCompiled(c, opt), nil
 }
 
-// deltaFn returns the per-gate linear delay delta under dose vector x.
+// deltaFn returns the per-gate linear delay delta under actuator
+// vector x, read through the compiled concatenated sensitivity rows
+// (dose layer entries, then the bias-domain entry).  For dose-only
+// artifacts the stored values are the same A·Ds (and B·Ds) products the
+// historical closure multiplied inline, in the same order, so the sum
+// is bit-identical.
 func (cs *cutSolver) deltaFn(x []float64) func(id int) float64 {
 	c := cs.comp
-	ds := tech.DoseSensitivity
 	return func(id int) float64 {
-		g := c.gridOf[id]
-		if g < 0 {
+		s, e := c.sensPtr[id], c.sensPtr[id+1]
+		if s == e {
 			return 0
 		}
-		v := c.Model.A[id] * ds * x[g]
-		if cs.opt.BothLayers {
-			v += c.Model.B[id] * ds * x[cs.nG+g]
+		v := c.sensVal[s] * x[c.sensCol[s]]
+		for k := s + 1; k < e; k++ {
+			v += c.sensVal[k] * x[c.sensCol[k]]
 		}
 		return v
 	}
 }
 
-// makeCut converts a path (from the linear-model enumeration at dose x)
-// into a constraint row.
+// makeCut converts a path (from the linear-model enumeration at the
+// iterate x) into a constraint row over all actuator variables.
 func (cs *cutSolver) makeCut(p *sta.Path, x []float64) cut {
 	c := cs.comp
-	ds := tech.DoseSensitivity
 	coeff := map[int]float64{}
 	for i, id := range p.Nodes {
-		g := c.gridOf[id]
-		if g < 0 {
+		s, e := c.sensPtr[id], c.sensPtr[id+1]
+		if s == e {
 			continue
 		}
 		kind := c.Golden.In.Circ.Gates[id].Kind
-		// Dose affects the cell delay of combinational nodes and the
+		// Actuators affect the cell delay of combinational nodes and the
 		// clock-to-q of the launching register (first node); the
-		// capturing endpoint contributes no dose-dependent delay.
+		// capturing endpoint contributes no actuator-dependent delay.
 		isLaunch := i == 0 && kind == netlist.Seq
 		if kind == netlist.Comb || isLaunch {
-			coeff[g] += c.Model.A[id] * ds
-			if cs.opt.BothLayers {
-				coeff[cs.nG+g] += c.Model.B[id] * ds
+			for k := s; k < e; k++ {
+				coeff[c.sensCol[k]] += c.sensVal[k]
 			}
 		}
 	}
@@ -488,11 +489,7 @@ func (cs *cutSolver) solveTau(ctx context.Context, tau, xiNW float64) (obj float
 		}
 		cs.saveDuals(res.Y)
 		copy(cs.x, res.X)
-		// Clamp numerical box slop before evaluating timing (dose
-		// variables only — auxiliary consensus variables are unboxed).
-		for j := 0; j < cs.clampN; j++ {
-			cs.x[j] = clamp(cs.x[j], opt.DoseLo, opt.DoseHi)
-		}
+		cs.clampVars()
 		o := cs.objective(cs.x)
 		cs.recordTangent(tau, o, res.Y)
 		if o > xiNW+xiToleranceLeak(c.nomLeakUW, xiNW) {
@@ -554,11 +551,47 @@ func (cs *cutSolver) objective(x []float64) float64 {
 	return obj
 }
 
+// clampVars clamps the iterate's actuator variables onto their boxes
+// after a solve (numerical slop only).  Dose blocks clamp to the RUN
+// box [opt.DoseLo, opt.DoseHi] — the wafer consensus shifts it per
+// field — while the bias block clamps to its compile-time box.
+// Variables at clampN and beyond (auxiliary wafer consensus columns)
+// are never clamped.
+func (cs *cutSolver) clampVars() {
+	for _, b := range cs.comp.Blocks {
+		lo, hi := b.Lo, b.Hi
+		if b.Name != "bias" {
+			lo, hi = cs.opt.DoseLo, cs.opt.DoseHi
+		}
+		for k := 0; k < b.N; k++ {
+			j := b.Off + k
+			if j >= cs.clampN {
+				return
+			}
+			cs.x[j] = clamp(cs.x[j], lo, hi)
+		}
+	}
+}
+
+// biasOf extracts the bias-block variables from the iterate (nil when
+// the bias actuator is off).
+func (cs *cutSolver) biasOf() []float64 {
+	c := cs.comp
+	if c.nBias == 0 {
+		return nil
+	}
+	return append([]float64(nil), cs.x[c.biasOff:c.biasOff+c.nBias]...)
+}
+
 // layers converts the iterate into dose maps, legalized onto the exact
 // equipment-feasible set (range + smoothness) so downstream consumers
-// never see solver slop.
+// never see solver slop.  Without the dose actuator it returns a zero
+// poly map (already legal), keeping downstream map consumers total.
 func (cs *cutSolver) layers() dosemap.Layers {
 	opt := cs.opt
+	if !cs.comp.hasDose() {
+		return dosemap.Layers{Poly: dosemap.NewMap(cs.comp.Grid)}
+	}
 	legalize := func(m *dosemap.Map) {
 		if opt.Tiled {
 			m.LegalizeTiled(opt.DoseLo, opt.DoseHi, opt.Delta, 50)
@@ -582,16 +615,16 @@ func (cs *cutSolver) layers() dosemap.Layers {
 // result packages the current iterate like the node-based path does.
 func (cs *cutSolver) result(ctx context.Context, probes int) (*Result, error) {
 	c := cs.comp
-	layers := cs.layers()
-	predMCT, predLeak := c.predict(layers)
+	asn := Assignment{Layers: cs.layers(), BiasV: cs.biasOf()}
+	predMCT, predLeak := c.predictAsn(asn)
 	nominal := Eval{MCTps: c.Golden.MCT, LeakUW: c.nomLeakUW}
-	gold, err := signoff(ctx, c.Golden, cs.opt, layers)
+	gold, err := signoffAsn(ctx, c, cs.opt, asn)
 	if err != nil {
 		return nil, err
 	}
 	nCuts := cs.pool.size()
 	return &Result{
-		Layers:          layers,
+		Layers:          asn.Layers,
 		PredMCT:         predMCT,
 		PredDeltaLeakNW: predLeak,
 		Nominal:         nominal,
@@ -599,6 +632,8 @@ func (cs *cutSolver) result(ctx context.Context, probes int) (*Result, error) {
 		Probes:          probes,
 		Rows:            nCuts,
 		Cols:            cs.nVar,
+		BiasV:           asn.BiasV,
+		BiasDomains:     c.nBias,
 		Status:          fmt.Sprintf("cuts=%d rounds=%d solves=%d", nCuts, cs.rounds, cs.solves),
 	}, nil
 }

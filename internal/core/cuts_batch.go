@@ -139,9 +139,7 @@ func solveTauGroup(ctx context.Context, css []*cutSolver, tau float64) (objs []f
 			}
 			cs.saveDuals(res.Y)
 			copy(cs.x, res.X)
-			for j := 0; j < cs.clampN; j++ {
-				cs.x[j] = clamp(cs.x[j], cs.opt.DoseLo, cs.opt.DoseHi)
-			}
+			cs.clampVars()
 			objs[i] = cs.objective(cs.x)
 			cs.recordTangent(tau, objs[i], res.Y)
 			delta := cs.deltaFn(cs.x)

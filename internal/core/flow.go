@@ -105,6 +105,13 @@ func SolveFlow(ctx context.Context, req FlowRequest) (*FlowOutcome, error) {
 		return nil, fmt.Errorf("core: flow request has no design")
 	}
 	cfg.Opt = cfg.Opt.normalized()
+	if cfg.RunDosePl && (cfg.Opt.useBias() || cfg.Opt.DoseOff) {
+		// dosePl moves cells across the die, which both needs dose maps
+		// to trade against and would invalidate the bias-domain
+		// assignment (wells are fixed silicon, not re-floorplanned per
+		// optimization round).
+		return nil, fmt.Errorf("core: dosePl rounds require the dose-only formulation")
+	}
 	gctx, sp := obs.Start(ctx, "flow/golden")
 	golden, err := GoldenNominalCtx(gctx, d, cfg.Opt.STA)
 	sp.End()
@@ -191,9 +198,9 @@ func EvalPerturbCtx(ctx context.Context, in sta.Input, cfg sta.Config, pert *sta
 	if err != nil {
 		return Eval{}, nil, err
 	}
-	var dl, dw []float64
+	var dl, dw, dvth []float64
 	if pert != nil {
-		dl, dw = pert.DL, pert.DW
+		dl, dw, dvth = pert.DL, pert.DW, pert.DVth
 	}
-	return Eval{MCTps: r.MCT, LeakUW: power.Total(in.Masters, dl, dw)}, r, nil
+	return Eval{MCTps: r.MCT, LeakUW: power.TotalV(in.Masters, dl, dw, dvth)}, r, nil
 }

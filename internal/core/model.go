@@ -36,6 +36,28 @@ type Model struct {
 	// residuals across all fitted cells — the fit-quality metric the
 	// paper reports (0.0005 single-variable vs 0.0101 two-variable).
 	MaxDelaySSR, MaxLeakSSR float64
+
+	// Body-bias sensitivities, for the second actuator:
+	//
+	//	Δdelay_p   ≈ DB_p·b                     (ps, V of forward bias)
+	//	Δleakage_p ≈ AlphaB_p·b² + BetaB_p·b    (nW, V)
+	//
+	// DB ≤ 0 (forward bias lowers Vth, speeding the gate up); AlphaB ≥ 0
+	// and BetaB ≥ 0 (leakage is convex increasing in forward bias).
+	// These live in separate arrays so the dose-only objective and cut
+	// assembly never touch them — dose-only numerics stay bit-identical.
+	DB, AlphaB, BetaB []float64
+}
+
+// biasVSamples is the body-bias sample lattice in V for coefficient
+// fitting: liberty.BiasStepV steps spanning slightly beyond the default
+// [-0.2, +0.1] box, mirroring the 21-step dose variant grid.
+func biasVSamples() []float64 {
+	var s []float64
+	for b := -0.25; b <= 0.15+1e-9; b += liberty.BiasStepV {
+		s = append(s, b)
+	}
+	return s
 }
 
 // doseLSamples is the ΔL sample grid in nm (the 21 characterized dose
@@ -71,10 +93,12 @@ func FitModelCtx(ctx context.Context, r *sta.Result, bothLayers bool, workers in
 	m := &Model{
 		A: make([]float64, n), B: make([]float64, n),
 		Alpha: make([]float64, n), Beta: make([]float64, n), Gamma: make([]float64, n),
+		DB: make([]float64, n), AlphaB: make([]float64, n), BetaB: make([]float64, n),
 	}
 	delaySSR := make([]float64, n)
 	leakSSR := make([]float64, n)
 	dls := doseLSamples()
+	bvs := biasVSamples()
 	err := par.Do(ctx, n, workers, func(id int) error {
 		master := in.Masters[id]
 		if master == nil {
@@ -83,6 +107,29 @@ func FitModelCtx(ctx context.Context, r *sta.Result, bothLayers bool, workers in
 		slew, load := r.InSlew[id], r.Load[id]
 		nomD := master.Delay(0, 0, slew, load)
 		nomL := master.Leakage(0, 0)
+		// Body-bias sensitivities are fitted unconditionally (cheap, and
+		// independent of the dose-layer mode): sample the device model
+		// over the bias lattice and fit the same linear-delay /
+		// quadratic-leakage forms used for dose, with b in place of ΔL.
+		{
+			bd := make([]float64, len(bvs))
+			bk := make([]float64, len(bvs))
+			for i, b := range bvs {
+				dvth := in.Node.BodyBiasDVth(b)
+				bd[i] = master.DelayV(0, 0, dvth, slew, load) - nomD
+				bk[i] = master.LeakageV(0, 0, dvth) - nomL
+			}
+			dc, err := fit.FitDelayL(bvs, bd, nomD)
+			if err != nil {
+				return fmt.Errorf("core: bias delay fit for gate %d: %w", id, err)
+			}
+			lc, err := fit.FitLeakL(bvs, bk, nomL)
+			if err != nil {
+				return fmt.Errorf("core: bias leakage fit for gate %d: %w", id, err)
+			}
+			m.DB[id] = dc.A
+			m.AlphaB[id], m.BetaB[id] = lc.Alpha, lc.Beta
+		}
 		if !bothLayers {
 			dd := make([]float64, len(dls))
 			dk := make([]float64, len(dls))
@@ -158,13 +205,31 @@ func maxf(a, b float64) float64 {
 	return b
 }
 
+// DeltaLeakBias evaluates the model's total leakage change in nW for
+// per-gate forward body-bias voltages bv (V, indexed by gate ID).
+func (m *Model) DeltaLeakBias(bv []float64) float64 {
+	total := 0.0
+	for id := range m.DB {
+		b := bv[id]
+		total += m.AlphaB[id]*b*b + m.BetaB[id]*b
+	}
+	return total
+}
+
 // Sanity validates the fitted signs: delay must grow with L (A ≥ 0),
 // shrink with W (B ≤ 0); leakage curvature must be convex (α ≥ 0) with
-// negative slope (β ≤ 0) and positive width sensitivity (γ ≥ 0).
+// negative slope (β ≤ 0) and positive width sensitivity (γ ≥ 0).  For
+// the body-bias terms: forward bias speeds gates up (DB ≤ 0) and leaks
+// more, convexly (AlphaB ≥ 0, BetaB ≥ 0).
 func (m *Model) Sanity() error {
 	for id := range m.A {
 		if m.A[id] < 0 || m.B[id] > 1e-9 || m.Alpha[id] < 0 || m.Beta[id] > 1e-9 || m.Gamma[id] < 0 {
 			return errors.New("core: fitted coefficient sign violation")
+		}
+	}
+	for id := range m.DB {
+		if m.DB[id] > 1e-9 || m.AlphaB[id] < -1e-12 || m.BetaB[id] < -1e-9 {
+			return errors.New("core: fitted bias coefficient sign violation")
 		}
 	}
 	return nil

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/dosemap"
+	"repro/internal/liberty"
 	"repro/internal/qp"
 	"repro/internal/sta"
 )
@@ -72,7 +73,31 @@ type Options struct {
 	// warm-start trajectory: the result is still a valid optimum but
 	// not bit-identical to the serial bisection.
 	Speculate bool
+
+	// Actuator selection.  The zero values reproduce the dose-only
+	// pipeline bit-for-bit.
+	//
+	// DoseOff removes the dose-map actuator (bias-only mode); it is an
+	// error to disable dose without enabling bias.
+	DoseOff bool
+	// BiasGridUm enables the body-bias actuator when > 0: the pitch in
+	// µm of the square bias-domain tiling of the die (all cells in one
+	// tile share a well voltage).
+	BiasGridUm float64
+	// BiasLo, BiasHi bound the per-domain body-bias voltage in V
+	// (forward positive).  Both zero selects the default [-0.2, +0.1]
+	// box when bias is enabled.
+	BiasLo, BiasHi float64
+	// BiasStep is the bias quantization ladder step in V used by the
+	// Snap path; zero selects liberty.BiasStepV.
+	BiasStep float64
 }
+
+// useDose reports whether the dose-map actuator is active.
+func (o Options) useDose() bool { return !o.DoseOff }
+
+// useBias reports whether the body-bias actuator is active.
+func (o Options) useBias() bool { return o.BiasGridUm > 0 }
 
 // normalized propagates the top-level Workers knob into the nested
 // solver and STA configurations (without overriding explicit per-layer
@@ -84,8 +109,25 @@ func (o Options) normalized() Options {
 	if o.STA.Workers == 0 {
 		o.STA.Workers = o.Workers
 	}
+	if o.useBias() {
+		if o.BiasLo == 0 && o.BiasHi == 0 {
+			o.BiasLo, o.BiasHi = DefaultBiasLo, DefaultBiasHi
+		}
+		if o.BiasStep == 0 {
+			o.BiasStep = liberty.BiasStepV
+		}
+	}
 	return o
 }
+
+// Default body-bias box in V: reverse bias down to -0.2 V (leakage
+// recovery) and forward bias up to +0.1 V (timing rescue), the range
+// over which the quadratic leakage fit tracks the exponential device
+// model tightly.
+const (
+	DefaultBiasLo = -0.2
+	DefaultBiasHi = 0.1
+)
 
 // Method selects the DMopt solve engine.
 type Method int
@@ -140,6 +182,11 @@ type Result struct {
 	ArrivalVars int
 	// Rows and Cols are the assembled constraint-matrix dimensions.
 	Rows, Cols int
+	// BiasV holds the optimized per-domain body-bias voltages in V
+	// (unsnapped, like Layers holds unsnapped doses); nil when the bias
+	// actuator is off.  BiasDomains is its length.
+	BiasV       []float64
+	BiasDomains int
 	// Status reports the final solver status.
 	Status string
 	// Runtime is the wall-clock optimization time.

@@ -81,6 +81,12 @@ func SolveQCP(ctx context.Context, req QCPRequest) (*Result, error) {
 	}
 	if opt.Snap {
 		opt.XiNW -= c.snapMarginNW
+		if c.hasBias() {
+			opt.XiNW -= biasSnapMarginNW(c.Model, opt.BiasStep)
+		}
+	}
+	if c.hasDose() && c.hasBias() {
+		obs.Add(ctx, "core/joint_solves", 1)
 	}
 	if opt.Method == MethodCuts {
 		return qcpByCuts(ctx, c, opt, tLo, tHi, start)

@@ -89,6 +89,9 @@ func SolveQP(ctx context.Context, req QPRequest) (*Result, error) {
 	if tau <= 0 {
 		return nil, errors.New("core: non-positive timing constraint")
 	}
+	if c.hasDose() && c.hasBias() {
+		obs.Add(ctx, "core/joint_solves", 1)
+	}
 	if opt.Method == MethodCuts {
 		cs := newCutSolverCompiled(c, opt)
 		_, feasible, err := cs.solveTau(ctx, tau, math.Inf(1))
@@ -127,10 +130,11 @@ func SolveQP(ctx context.Context, req QPRequest) (*Result, error) {
 // model prediction, and golden signoff.
 func finish(ctx context.Context, prob *problem, res *qp.Result, probes int, start time.Time) (*Result, error) {
 	c := prob.c
-	layers := prob.extract(res.X)
-	predMCT, predLeak := c.predict(layers)
+	asn := Assignment{Layers: prob.extract(res.X), BiasV: prob.extractBias(res.X)}
+	layers := asn.Layers
+	predMCT, predLeak := c.predictAsn(asn)
 	nominal := Eval{MCTps: c.Golden.MCT, LeakUW: c.nomLeakUW}
-	golden, err := signoff(ctx, c.Golden, prob.opt, layers)
+	golden, err := signoffAsn(ctx, c, prob.opt, asn)
 	if err != nil {
 		return nil, err
 	}
@@ -150,6 +154,8 @@ func finish(ctx context.Context, prob *problem, res *qp.Result, probes int, star
 		ArrivalVars:     nArr,
 		Rows:            prob.Rows,
 		Cols:            prob.nVar,
+		BiasV:           asn.BiasV,
+		BiasDomains:     c.nBias,
 		Status:          res.Status.String(),
 		Runtime:         time.Since(start),
 	}, nil

@@ -510,6 +510,12 @@ func SolveWafer(ctx context.Context, req WaferRequest) (*WaferResult, error) {
 	if opt.BothLayers || opt.Tiled {
 		return nil, errors.New("core: wafer solve supports poly-only, untiled formulations")
 	}
+	if c.hasBias() || opt.DoseOff {
+		// The consensus couples fields through the shared slit profile of
+		// the DOSE variables; body-bias wells are per-die silicon with no
+		// wafer-level coupling, so actuator composition stops at the field.
+		return nil, errors.New("core: wafer solve supports dose-only formulations")
+	}
 	wopt := req.Wafer.normalized()
 	wafer, err := dosemap.NewWafer(wopt.DiameterMM, wopt.FieldWmm, wopt.FieldHmm, wopt.EdgeMM)
 	if err != nil {

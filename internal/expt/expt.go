@@ -18,6 +18,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/core"
 	"repro/internal/dosemap"
 	"repro/internal/gen"
@@ -579,6 +580,72 @@ func SweepDoses() []float64 {
 	return out
 }
 
+// BiasSweepRow is one point of the uniform body-bias sweep.
+type BiasSweepRow struct {
+	BiasV   float64
+	MCTns   float64
+	MCTImp  float64 // percent, positive is better
+	LeakUW  float64
+	LeakImp float64 // percent, positive is better
+}
+
+// BiasSweepCtx sweeps a uniform body-bias voltage across the whole
+// design — the bias analogue of the Tables II-III dose sweep: each
+// point shifts every cell's threshold by the node's body factor and
+// re-runs golden timing and leakage.  Like a uniform dose, a uniform
+// bias trades the two metrics and cannot win both; the per-domain
+// co-optimization is what breaks the tradeoff.
+func (c *Context) BiasSweepCtx(ctx context.Context, design string, biases []float64) ([]BiasSweepRow, error) {
+	d, err := c.DesignCtx(ctx, design)
+	if err != nil {
+		return nil, err
+	}
+	in := core.InputOf(d)
+	cfg := c.staCfg()
+	n := d.Circ.NumGates()
+	workers := par.Workers(c.Workers)
+
+	nomEval, _, err := core.EvalPerturbCtx(ctx, in, cfg, nil)
+	if err != nil {
+		return nil, err
+	}
+	ptCfg := cfg
+	ptCfg.Workers = 1
+	if workers == 1 {
+		ptCfg = cfg
+	}
+	return par.Map(ctx, len(biases), workers, func(i int) (BiasSweepRow, error) {
+		b := biases[i]
+		dvth := make([]float64, n)
+		for id, m := range d.Masters {
+			if m != nil {
+				dvth[id] = in.Node.BodyBiasDVth(b)
+			}
+		}
+		ev, _, err := core.EvalPerturbCtx(ctx, in, ptCfg, &sta.Perturb{DVth: dvth})
+		if err != nil {
+			return BiasSweepRow{}, err
+		}
+		return BiasSweepRow{
+			BiasV:   b,
+			MCTns:   ev.MCTps / 1000,
+			MCTImp:  100 * (1 - ev.MCTps/nomEval.MCTps),
+			LeakUW:  ev.LeakUW,
+			LeakImp: 100 * (1 - ev.LeakUW/nomEval.LeakUW),
+		}, nil
+	})
+}
+
+// SweepBiases returns the body-bias sweep lattice -0.2, …, +0.1 V in
+// liberty.BiasStepV steps.
+func SweepBiases() []float64 {
+	var out []float64
+	for b := core.DefaultBiasLo; b <= core.DefaultBiasHi+1e-9; b += liberty.BiasStepV {
+		out = append(out, b)
+	}
+	return out
+}
+
 func (c *Context) doseSweepTable(ctx context.Context, id, design string) (*Table, error) {
 	ctx, sp := obs.Start(ctx, "expt/"+id)
 	defer sp.End()
@@ -622,11 +689,12 @@ func (c *Context) TableIIICtx(ctx context.Context) (*Table, error) {
 type DMRow struct {
 	Design  string
 	GridUm  float64
-	Kind    string // "QP" or "QCP"
+	Kind    string // "QP" or "QCP" (or an actuator mode label)
 	MCTns   float64
 	MCTImp  float64
 	LeakUW  float64
 	LeakImp float64
+	Domains int // bias domains (0 for dose-only rows)
 	Runtime time.Duration
 }
 
@@ -655,11 +723,28 @@ func (c *Context) RunDMCtx(ctx context.Context, design string, gridUm float64, q
 // runDM is RunDMCtx with a warm-bracket seed: seedTau > 0 passes a
 // related run's achieved clock period into the QCP bisection.
 func (c *Context) runDM(ctx context.Context, design string, gridUm float64, qcp, bothLayers bool, seedTau float64) (*core.Result, error) {
+	return c.runDMActuators(ctx, design, gridUm, qcp, bothLayers, seedTau, "")
+}
+
+// runDMActuators is runDM with an actuator mode: "" or "dose" for the
+// historical dose-only run, "bias" for body-bias only, "joint" for the
+// co-optimization (bias domains at the default 20 µm pitch and box).
+func (c *Context) runDMActuators(ctx context.Context, design string, gridUm float64, qcp, bothLayers bool, seedTau float64, actuators string) (*core.Result, error) {
 	opt := core.DefaultOptions()
 	opt.G = gridUm
 	opt.BothLayers = bothLayers
 	opt.Workers = c.Workers
 	opt.QP.LinSys = c.LinSys
+	switch actuators {
+	case "", "dose":
+	case "bias":
+		opt.DoseOff = true
+		opt.BiasGridUm = api.DefaultBiasGridUm
+	case "joint":
+		opt.BiasGridUm = api.DefaultBiasGridUm
+	default:
+		return nil, fmt.Errorf("expt: unknown actuator mode %q", actuators)
+	}
 	comp, err := c.compiledCtx(ctx, design, opt.CompileOptions())
 	if err != nil {
 		return nil, err
@@ -681,6 +766,7 @@ func dmRow(design string, g float64, kind string, r *core.Result) DMRow {
 		MCTImp:  100 * (1 - r.Golden.MCTps/r.Nominal.MCTps),
 		LeakUW:  r.Golden.LeakUW,
 		LeakImp: 100 * (1 - r.Golden.LeakUW/r.Nominal.LeakUW),
+		Domains: r.BiasDomains,
 		Runtime: r.Runtime,
 	}
 }
@@ -692,6 +778,7 @@ type dmJob struct {
 	qcp    bool
 	both   bool
 	label  string // engine or mode column
+	mode   string // actuator mode: "", "bias" or "joint"
 }
 
 // runDMJobs fans the optimization runs across workers and returns their
@@ -713,7 +800,7 @@ func (c *Context) runDMJobs(ctx context.Context, jobs []dmJob) ([]DMRow, error) 
 			chains = append(chains, []item{{idx, j}})
 			continue
 		}
-		key := fmt.Sprintf("%s|%s|%t", j.design, j.label, j.both)
+		key := fmt.Sprintf("%s|%s|%t|%s", j.design, j.label, j.both, j.mode)
 		if ci, ok := chainOf[key]; ok {
 			chains[ci] = append(chains[ci], item{idx, j})
 		} else {
@@ -726,7 +813,7 @@ func (c *Context) runDMJobs(ctx context.Context, jobs []dmJob) ([]DMRow, error) 
 		seed := 0.0
 		for _, it := range chains[i] {
 			j := it.job
-			r, err := c.runDM(ctx, j.design, j.grid, j.qcp, j.both, seed)
+			r, err := c.runDMActuators(ctx, j.design, j.grid, j.qcp, j.both, seed, j.mode)
 			if err != nil {
 				return struct{}{}, fmt.Errorf("%s %s %g µm: %w", j.design, j.label, j.grid, err)
 			}
@@ -854,6 +941,64 @@ func (c *Context) TableVI() (*Table, []DMRow, error) { return c.TableVICtx(conte
 // TableVICtx is TableVI with cancellation.
 func (c *Context) TableVICtx(ctx context.Context) (*Table, []DMRow, error) {
 	return c.tableBoth(ctx, "Table VI", false)
+}
+
+// --- Table X: actuator ablation -------------------------------------------
+
+// TableX runs the actuator ablation: dose-only vs body-bias-only vs the
+// joint co-optimization on every design, QP at τ = 0.99·nominal MCT.
+func (c *Context) TableX() (*Table, []DMRow, error) { return c.TableXCtx(context.Background()) }
+
+// TableXCtx is TableX with cancellation.  The 12 runs (4 designs × 3
+// actuator modes) are independent QP solves at the same τ, so the leakage
+// columns are directly comparable per design; the joint row must come in
+// at or below both single-actuator rows (a superset feasible region).
+func (c *Context) TableXCtx(ctx context.Context) (*Table, []DMRow, error) {
+	ctx, sp := obs.Start(ctx, "expt/Table X")
+	defer sp.End()
+	t := &Table{
+		ID:    "Table X",
+		Title: "actuator ablation: dose-only vs body-bias vs joint (QP at τ = 0.99·nominal MCT, G=5 µm, bias pitch 20 µm)",
+		Header: []string{"Design", "actuators", "MCT (ns)", "imp. (%)",
+			"Leakage (µW)", "imp. (%)", "bias domains", "runtime"},
+		Notes: "joint optimizes over the union of both knob sets, so its leakage is ≤ min(dose, bias) at equal τ",
+	}
+	modes := []struct{ mode, label string }{
+		{"", "dose"}, {"bias", "bias"}, {"joint", "dose+bias"},
+	}
+	presets := gen.Presets()
+	var jobs []dmJob
+	for _, p := range presets {
+		for _, m := range modes {
+			jobs = append(jobs, dmJob{design: p.Name, grid: 5, qcp: false, label: m.label, mode: m.mode})
+		}
+	}
+	rows, err := c.runDMJobs(ctx, jobs)
+	if err != nil {
+		return nil, nil, err
+	}
+	ji := 0
+	for _, p := range presets {
+		golden, err := c.GoldenCtx(ctx, p.Name)
+		if err != nil {
+			return nil, nil, err
+		}
+		t.Rows = append(t.Rows, []string{p.Name, "nominal",
+			f3(golden.MCT / 1000), "-", f1(nominalLeakUW(c, p.Name)), "-", "-", "-"})
+		for range modes {
+			row := rows[ji]
+			ji++
+			dom := "-"
+			if row.Domains > 0 {
+				dom = fmt.Sprintf("%d", row.Domains)
+			}
+			t.Rows = append(t.Rows, []string{
+				row.Design, row.Kind, f3(row.MCTns), f2(row.MCTImp),
+				f1(row.LeakUW), f2(row.LeakImp), dom, row.Runtime.Round(time.Millisecond).String(),
+			})
+		}
+	}
+	return t, rows, nil
 }
 
 // --- Table VII: criticality profile ---------------------------------------

@@ -211,6 +211,47 @@ func TestRecordedResultsShape(t *testing.T) {
 	}
 	checkWaferTableShape(t, waferRows)
 
+	// Table X: the actuator ablation — all three modes run at the same
+	// τ target per design, so the joint run optimizes over a superset of
+	// each single-actuator feasible region and must match or beat both
+	// on leakage (up to solver tolerance); the bias rows must actually
+	// carry bias domains and the dose-only rows must not.
+	leakOf := map[string]map[string]float64{}
+	for _, row := range sec["Table X"][1:] {
+		f := strings.Fields(row)
+		design, mode := f[0], f[1]
+		if mode == "nominal" {
+			continue
+		}
+		if leakOf[design] == nil {
+			leakOf[design] = map[string]float64{}
+		}
+		leakOf[design][mode] = num(t, f[4])
+		domains := f[6]
+		if mode == "dose" && domains != "-" {
+			t.Errorf("Table X: %s dose-only row reports %s bias domains", design, domains)
+		}
+		if mode != "dose" && num(t, domains) <= 0 {
+			t.Errorf("Table X: %s %s row has no bias domains", design, mode)
+		}
+	}
+	if len(leakOf) < 4 {
+		t.Fatalf("Table X: ablation covers %d designs, want all 4", len(leakOf))
+	}
+	for design, m := range leakOf {
+		joint, okJ := m["dose+bias"]
+		dose, okD := m["dose"]
+		bias, okB := m["bias"]
+		if !okJ || !okD || !okB {
+			t.Fatalf("Table X: %s missing an ablation mode: %v", design, m)
+		}
+		eps := 1e-3 * dose // solver/rounding tolerance on the printed µW
+		if joint > dose+eps || joint > bias+eps {
+			t.Errorf("Table X: %s joint leakage %.1f µW above a single-actuator run (dose %.1f, bias %.1f)",
+				design, joint, dose, bias)
+		}
+	}
+
 	// Fig. 10: profiles sorted ascending; at every rank Orig ≤ DMopt ≤
 	// Bias and dosePl never below DMopt by more than rounding.
 	var prev [4]float64

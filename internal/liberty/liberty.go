@@ -58,6 +58,24 @@ func (m *Master) Leakage(dL, dW float64) float64 {
 	return m.Dev.Leakage(m.Dev.Node.Lnom+dL, dW)
 }
 
+// DelayV is Delay with an additional threshold-voltage shift dvth (V),
+// e.g. from body bias; dvth = 0 takes the exact unbiased path.
+func (m *Master) DelayV(dL, dW, dvth, slew, load float64) float64 {
+	return m.Dev.DelayV(m.Dev.Node.Lnom+dL, dW, dvth, slew, load)
+}
+
+// OutSlewV is OutSlew with a threshold shift dvth (V); dvth = 0 takes the
+// exact unbiased path.
+func (m *Master) OutSlewV(dL, dW, dvth, slew, load float64) float64 {
+	return m.Dev.OutSlewV(m.Dev.Node.Lnom+dL, dW, dvth, slew, load)
+}
+
+// LeakageV is Leakage with a threshold shift dvth (V); dvth = 0 takes the
+// exact unbiased path.
+func (m *Master) LeakageV(dL, dW, dvth float64) float64 {
+	return m.Dev.LeakageV(m.Dev.Node.Lnom+dL, dW, dvth)
+}
+
 // Library is a characterized standard-cell library for one node.
 type Library struct {
 	Node    *tech.Node
@@ -269,6 +287,37 @@ func SnapDoseUp(d float64) float64 {
 		d = 5
 	}
 	return math.Min(5, math.Ceil(d/DoseStep-1e-9)*DoseStep)
+}
+
+// BiasStepV is the default body-bias quantization step in V: on-chip
+// bias generators deliver a small discrete ladder of well voltages, the
+// bias analogue of the 21-step dose variant grid.
+const BiasStepV = 0.05
+
+// SnapBias rounds a body-bias voltage to the nearest step on the ladder,
+// clamped to [lo, hi].
+func SnapBias(b, lo, hi, step float64) float64 {
+	if step <= 0 {
+		step = BiasStepV
+	}
+	if b < lo {
+		b = lo
+	}
+	if b > hi {
+		b = hi
+	}
+	return math.Round(b/step) * step
+}
+
+// SnapBiasUp rounds a body-bias voltage up to the next ladder step
+// (clamped to hi).  Rounding toward forward bias can only speed gates
+// up, so a timing-feasible solution stays feasible after snapping — the
+// bias analogue of SnapDoseUp, paid for in a sliver of leakage.
+func SnapBiasUp(b, hi, step float64) float64 {
+	if step <= 0 {
+		step = BiasStepV
+	}
+	return math.Min(hi, math.Ceil(b/step-1e-9)*step)
 }
 
 // Table is an NLDM-style lookup table over input slew × output load for

@@ -287,3 +287,68 @@ func (p *Placement) OverlapCount() int {
 	}
 	return count
 }
+
+// Regions partitions the placed cells into rectangular bias domains: a
+// square tiling of the die with the given pitch in µm, compacted to the
+// occupied tiles.  It returns a per-gate domain index (−1 for ports and
+// unplaced rows) and the number of occupied domains.  Domains are
+// numbered by row-major tile order, so the assignment is a pure function
+// of coordinates — deterministic across worker counts and runs.  This is
+// the placement-side substrate of body-bias co-optimization: all cells
+// sharing a well tile share one bias voltage.
+func (p *Placement) Regions(pitch float64) (regionOf []int, n int) {
+	nGates := len(p.Circ.Gates)
+	regionOf = make([]int, nGates)
+	if pitch <= 0 {
+		for id := range regionOf {
+			regionOf[id] = -1
+		}
+		return regionOf, 0
+	}
+	cols := int(math.Ceil(p.ChipW / pitch))
+	if cols < 1 {
+		cols = 1
+	}
+	rows := int(math.Ceil(p.ChipH / pitch))
+	if rows < 1 {
+		rows = 1
+	}
+	tileOf := make([]int, nGates)
+	occupied := make([]bool, rows*cols)
+	for id, g := range p.Circ.Gates {
+		tileOf[id] = -1
+		if g.Kind != netlist.Comb && g.Kind != netlist.Seq {
+			continue
+		}
+		i := int(p.Y[id] / pitch)
+		if i < 0 {
+			i = 0
+		} else if i >= rows {
+			i = rows - 1
+		}
+		j := int(p.X[id] / pitch)
+		if j < 0 {
+			j = 0
+		} else if j >= cols {
+			j = cols - 1
+		}
+		t := i*cols + j
+		tileOf[id] = t
+		occupied[t] = true
+	}
+	compact := make([]int, rows*cols)
+	for t := range compact {
+		compact[t] = -1
+		if occupied[t] {
+			compact[t] = n
+			n++
+		}
+	}
+	for id := range regionOf {
+		regionOf[id] = -1
+		if t := tileOf[id]; t >= 0 {
+			regionOf[id] = compact[t]
+		}
+	}
+	return regionOf, n
+}

@@ -36,11 +36,14 @@ type Input struct {
 	Node    *tech.Node
 }
 
-// Perturb carries per-gate dose-induced geometry deltas in nm.  Nil
-// slices mean zero everywhere.
+// Perturb carries per-gate dose-induced geometry deltas in nm and
+// body-bias-induced threshold shifts in V.  Nil slices mean zero
+// everywhere; a nil DVth keeps every delay/leakage evaluation on the
+// exact unbiased code path, bit-identical to the pre-bias analysis.
 type Perturb struct {
-	DL []float64 // gate-length delta per gate ID
-	DW []float64 // gate-width delta per gate ID
+	DL   []float64 // gate-length delta per gate ID
+	DW   []float64 // gate-width delta per gate ID
+	DVth []float64 // threshold-voltage delta per gate ID (V)
 }
 
 func (p *Perturb) dl(id int) float64 {
@@ -55,6 +58,13 @@ func (p *Perturb) dw(id int) float64 {
 		return 0
 	}
 	return p.DW[id]
+}
+
+func (p *Perturb) dvth(id int) float64 {
+	if p == nil || p.DVth == nil {
+		return 0
+	}
+	return p.DVth[id]
 }
 
 // Config holds boundary-condition knobs.
@@ -260,8 +270,8 @@ func AnalyzeCtx(ctx context.Context, in Input, cfg Config, pert *Perturb) (*Resu
 			return
 		}
 		m := in.Masters[id]
-		r.AOut[id] = m.Delay(pert.dl(id), pert.dw(id), cfg.ClockSlew, r.Load[id])
-		r.Slew[id] = m.OutSlew(pert.dl(id), pert.dw(id), cfg.ClockSlew, r.Load[id])
+		r.AOut[id] = m.DelayV(pert.dl(id), pert.dw(id), pert.dvth(id), cfg.ClockSlew, r.Load[id])
+		r.Slew[id] = m.OutSlewV(pert.dl(id), pert.dw(id), pert.dvth(id), cfg.ClockSlew, r.Load[id])
 		r.InSlew[id] = cfg.ClockSlew
 	}); err != nil {
 		return nil, err
@@ -351,10 +361,10 @@ func forwardGate(r *Result, in Input, cfg Config, pert *Perturb, id int) {
 		for _, fi := range g.Fanins {
 			wd := in.WireDelay(fi, id)
 			slewIn := r.Slew[fi] + cfg.SlewWireFactor*wd
-			d := m.Delay(pert.dl(id), pert.dw(id), slewIn, r.Load[id])
+			d := m.DelayV(pert.dl(id), pert.dw(id), pert.dvth(id), slewIn, r.Load[id])
 			if a := r.AOut[fi] + wd + d; a > best {
 				best = a
-				bestSlew = m.OutSlew(pert.dl(id), pert.dw(id), slewIn, r.Load[id])
+				bestSlew = m.OutSlewV(pert.dl(id), pert.dw(id), pert.dvth(id), slewIn, r.Load[id])
 				bestIn = slewIn
 			}
 		}
@@ -396,7 +406,7 @@ func gatherRequired(r *Result, in Input, cfg Config, pert *Perturb, id int) {
 		case netlist.Comb:
 			m := in.Masters[fo]
 			slewIn := r.Slew[id] + cfg.SlewWireFactor*wd
-			d := m.Delay(pert.dl(fo), pert.dw(fo), slewIn, r.Load[fo])
+			d := m.DelayV(pert.dl(fo), pert.dw(fo), pert.dvth(fo), slewIn, r.Load[fo])
 			q = r.ROut[fo] - d - wd
 		default:
 			continue
@@ -433,7 +443,7 @@ func (r *Result) ArcDelay(from, to int) float64 {
 	case netlist.Comb:
 		m := in.Masters[to]
 		slewIn := r.Slew[from] + r.Cfg.SlewWireFactor*wd
-		return wd + m.Delay(r.Pert.dl(to), r.Pert.dw(to), slewIn, r.Load[to])
+		return wd + m.DelayV(r.Pert.dl(to), r.Pert.dw(to), r.Pert.dvth(to), slewIn, r.Load[to])
 	}
 	return wd
 }

@@ -103,10 +103,11 @@ func NewTimerCtx(ctx context.Context, in Input, cfg Config, pert *Perturb) (*Tim
 		loadMark: make([]uint32, n),
 		relMark:  make([]uint32, n),
 	}
-	t.pert = &Perturb{DL: make([]float64, n), DW: make([]float64, n)}
+	t.pert = &Perturb{DL: make([]float64, n), DW: make([]float64, n), DVth: make([]float64, n)}
 	for id := 0; id < n; id++ {
 		t.pert.DL[id] = pert.dl(id)
 		t.pert.DW[id] = pert.dw(id)
+		t.pert.DVth[id] = pert.dvth(id)
 	}
 	res.Pert = t.pert
 
@@ -225,12 +226,13 @@ func (t *Timer) Update(pert *Perturb) *Result {
 	// its launch, for flip-flops) and the required times of its fanins,
 	// whose gather walks through this gate's cell delay.
 	for id := 0; id < len(t.pert.DL); id++ {
-		ndl, ndw := pert.dl(id), pert.dw(id)
+		ndl, ndw, ndv := pert.dl(id), pert.dw(id), pert.dvth(id)
 		if math.Float64bits(ndl) == math.Float64bits(t.pert.DL[id]) &&
-			math.Float64bits(ndw) == math.Float64bits(t.pert.DW[id]) {
+			math.Float64bits(ndw) == math.Float64bits(t.pert.DW[id]) &&
+			math.Float64bits(ndv) == math.Float64bits(t.pert.DVth[id]) {
 			continue
 		}
-		t.pert.DL[id], t.pert.DW[id] = ndl, ndw
+		t.pert.DL[id], t.pert.DW[id], t.pert.DVth[id] = ndl, ndw, ndv
 		t.seedPertChange(id)
 	}
 	return t.finish()
@@ -331,8 +333,8 @@ func (t *Timer) finish() *Result {
 		m := in.Masters[s]
 		oldA := math.Float64bits(r.AOut[s])
 		oldS := math.Float64bits(r.Slew[s])
-		r.AOut[s] = m.Delay(t.pert.dl(s), t.pert.dw(s), cfg.ClockSlew, r.Load[s])
-		r.Slew[s] = m.OutSlew(t.pert.dl(s), t.pert.dw(s), cfg.ClockSlew, r.Load[s])
+		r.AOut[s] = m.DelayV(t.pert.dl(s), t.pert.dw(s), t.pert.dvth(s), cfg.ClockSlew, r.Load[s])
+		r.Slew[s] = m.OutSlewV(t.pert.dl(s), t.pert.dw(s), t.pert.dvth(s), cfg.ClockSlew, r.Load[s])
 		r.InSlew[s] = cfg.ClockSlew
 		t.evals++
 		slewChanged := math.Float64bits(r.Slew[s]) != oldS

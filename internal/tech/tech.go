@@ -89,6 +89,12 @@ type Node struct {
 	// capacitance (fF) used by the placement-driven wire-delay model.
 	WireRPerUm float64
 	WireCPerUm float64
+
+	// KGammaBody is the body-effect coefficient dVth/dVbs in V/V: a
+	// forward body bias of b volts lowers the threshold voltage by
+	// KGammaBody·b (faster, leakier), a reverse bias raises it.  Typical
+	// bulk-CMOS values are 0.1-0.2.
+	KGammaBody float64
 }
 
 // LeakExpK returns the exponential leakage constant k (per nm) such that
@@ -125,6 +131,7 @@ func N65() *Node {
 		Wnom:        300,
 		WireRPerUm:  0.004,
 		WireCPerUm:  0.10,
+		KGammaBody:  0.15,
 	}
 }
 
@@ -153,6 +160,7 @@ func N90() *Node {
 		Wnom:        420,
 		WireRPerUm:  0.003,
 		WireCPerUm:  0.11,
+		KGammaBody:  0.18,
 	}
 }
 
@@ -259,6 +267,68 @@ func (d *Device) OutSlew(l, dw, slew, load float64) float64 {
 func (d *Device) Leakage(l, dw float64) float64 {
 	w := d.WNom + dw
 	return d.LeakNom * d.Drive * d.Node.LeakFactor(l, w, d.WNom)
+}
+
+// BodyBiasDVth converts a body-bias voltage (V, forward positive) into a
+// threshold-voltage delta in V: forward bias lowers Vth.
+func (n *Node) BodyBiasDVth(bbv float64) float64 { return -n.KGammaBody * bbv }
+
+// BiasDelayScale returns the multiplicative cell-delay change caused by a
+// threshold shift dvth (V) at gate length l (nm), from the alpha-power
+// law: delay ∝ 1/(VDD−Vth)^α.  It is exactly 1 at dvth = 0.  The gate
+// overdrive is floored at 5% of VDD so deep reverse bias degrades
+// gracefully instead of diverging.
+func (n *Node) BiasDelayScale(l, dvth float64) float64 {
+	ov := n.VDD - n.Vth(l)
+	den := ov - dvth
+	if floor := 0.05 * n.VDD; den < floor {
+		den = floor
+	}
+	return math.Pow(ov/den, n.Alpha)
+}
+
+// LeakFactorV is LeakFactor with an additional threshold shift dvth (V):
+// only the subthreshold component responds, multiplied by
+// exp(-dvth/SubSlope) (forward bias → lower Vth → more leakage).
+func (n *Node) LeakFactorV(l, w, wNom, dvth float64) float64 {
+	k := n.LeakExpK()
+	sub := n.SubFrac * math.Exp(-k*(l-n.Lnom)) * math.Exp(-dvth/n.SubSlope)
+	gate := 1 - n.SubFrac
+	return (sub + gate) * w / wNom
+}
+
+// DelayV is Delay with an additional threshold-voltage shift dvth (V),
+// e.g. from body bias.  dvth = 0 takes the exact unbiased path, so the
+// unbiased flow is bit-identical to Delay.  The shift scales the drive
+// (intrinsic + RC) part of the delay via the alpha-power law; the slew
+// feed-through term is unchanged.
+func (d *Device) DelayV(l, dw, dvth, slew, load float64) float64 {
+	if dvth == 0 {
+		return d.Delay(l, dw, slew, load)
+	}
+	s := d.Node.BiasDelayScale(l, dvth)
+	f := d.Node.DriveFactor(l, d.WNom+dw, d.WNom)
+	return s*(d.TIntr*f+d.R(l, dw)*(load+d.CPar*d.Drive)) + SlewDelayFraction*slew
+}
+
+// OutSlewV is OutSlew with a threshold shift dvth (V); dvth = 0 takes the
+// exact unbiased path.
+func (d *Device) OutSlewV(l, dw, dvth, slew, load float64) float64 {
+	if dvth == 0 {
+		return d.OutSlew(l, dw, slew, load)
+	}
+	s := d.Node.BiasDelayScale(l, dvth)
+	return s*SlewOutFactor*d.R(l, dw)*(load+d.CPar*d.Drive) + SlewResidual*slew
+}
+
+// LeakageV is Leakage with a threshold shift dvth (V); dvth = 0 takes the
+// exact unbiased path.
+func (d *Device) LeakageV(l, dw, dvth float64) float64 {
+	if dvth == 0 {
+		return d.Leakage(l, dw)
+	}
+	w := d.WNom + dw
+	return d.LeakNom * d.Drive * d.Node.LeakFactorV(l, w, d.WNom, dvth)
 }
 
 // DoseToLength converts a poly-layer dose delta (percent) into a gate
